@@ -1,0 +1,157 @@
+//! Criterion benchmarks, one group per regenerated table/figure of the
+//! paper. These time the *reproduction kernels* (the measurements behind
+//! each artifact) and double as a performance harness for the simulator
+//! itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcs_bench::experiments::{self, e1_shared_data, e2_locking, e3_busywait, e9_transfer_units};
+use mcs_bench::figures;
+use mcs_core::{with_protocol, ProtocolKind};
+use mcs_sync::LockSchemeKind;
+use mcs_workloads::RandomSharingConfig;
+
+/// Table 1: deriving the full evolution matrix from the protocols.
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/generate", |b| {
+        b.iter(|| {
+            let columns: Vec<_> = ProtocolKind::EVOLUTION
+                .iter()
+                .map(|kind| with_protocol!(*kind, p => mcs_core::table1::column_for(&p)))
+                .collect();
+            mcs_core::table1::render(&columns)
+        })
+    });
+    c.bench_function("table2/generate", |b| b.iter(mcs_core::table2::render));
+}
+
+/// Figures 1–9: the protocol scenarios (grouped); Figure 10: the exhaustive
+/// transition exploration; Figure 11: the Aquarius run.
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1-fig5_basic_actions", |b| {
+        b.iter(|| {
+            figures::fig1();
+            figures::fig2();
+            figures::fig3();
+            figures::fig4();
+            figures::fig5()
+        })
+    });
+    g.bench_function("fig6-fig9_locking_and_busy_wait", |b| {
+        b.iter(|| {
+            figures::fig6();
+            figures::fig7();
+            figures::fig8();
+            figures::fig9()
+        })
+    });
+    g.bench_function("fig10_transition_relation", |b| b.iter(figures::fig10));
+    g.bench_function("fig11_aquarius", |b| b.iter(figures::fig11));
+    g.finish();
+}
+
+/// Experiment E1: the shared-data kernel at the extremes of the sweep.
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_shared_data");
+    g.sample_size(10);
+    for (kind, scheme) in [
+        (ProtocolKind::BitarDespain, LockSchemeKind::CacheLock),
+        (ProtocolKind::Dragon, LockSchemeKind::TestAndSet),
+    ] {
+        g.bench_with_input(BenchmarkId::new(kind.id(), 16), &16usize, |b, &k| {
+            b.iter(|| e1_shared_data::measure(kind, scheme, k))
+        });
+    }
+    g.finish();
+}
+
+/// Experiments E2/E3: the locking and busy-wait kernels.
+fn bench_locking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_e3_locking");
+    g.sample_size(10);
+    g.bench_function("e2_cache_lock", |b| {
+        b.iter(|| e2_locking::measure(ProtocolKind::BitarDespain, LockSchemeKind::CacheLock))
+    });
+    g.bench_function("e2_tas", |b| {
+        b.iter(|| e2_locking::measure(ProtocolKind::Illinois, LockSchemeKind::TestAndSet))
+    });
+    g.bench_function("e3_register_8procs", |b| {
+        b.iter(|| e3_busywait::measure(ProtocolKind::BitarDespain, LockSchemeKind::CacheLock, 8))
+    });
+    g.finish();
+}
+
+/// Experiments E4–E7: the random-sharing kernels.
+fn bench_random_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_e7_random_sharing");
+    g.sample_size(10);
+    let cfg = RandomSharingConfig { refs_per_proc: 2_000, ..Default::default() };
+    for kind in [ProtocolKind::BitarDespain, ProtocolKind::Goodman, ProtocolKind::Dragon] {
+        g.bench_function(kind.id(), |b| {
+            b.iter(|| experiments::run_random(kind, 4, 4, 128, cfg))
+        });
+    }
+    g.finish();
+}
+
+/// Experiments E8/E9/E10: migration, transfer units, Rudolph-Segall.
+fn bench_remaining(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_e9_e10");
+    g.sample_size(10);
+    g.bench_function("e8_migration_wnf", |b| {
+        b.iter(|| mcs_bench::experiments::e8_write_no_fetch::measure(true, 4))
+    });
+    g.bench_function("e9_unit1", |b| b.iter(|| e9_transfer_units::words_per_section(1)));
+    g.bench_function("e10_rs_point", |b| {
+        b.iter(|| {
+            experiments::measure_point(
+                ProtocolKind::RudolphSegall,
+                LockSchemeKind::TestAndTestAndSet,
+                4,
+            )
+        })
+    });
+    g.finish();
+}
+
+/// Ablations E11-E13: directory duality, RMW methods, Berkeley's WC state.
+fn bench_ablations(c: &mut Criterion) {
+    use mcs_model::DirectoryDuality;
+    let mut g = c.benchmark_group("e11_e12_e13_ablations");
+    g.sample_size(10);
+    g.bench_function("e11_nid_directory", |b| {
+        b.iter(|| mcs_bench::experiments::e11_directory::measure(DirectoryDuality::NonIdenticalDual))
+    });
+    g.bench_function("e12_all_methods", |b| {
+        b.iter(mcs_bench::experiments::e12_rmw_methods::outcomes)
+    });
+    g.bench_function("e13_berkeley_wc", |b| {
+        b.iter(|| mcs_bench::experiments::e13_berkeley_wc::measure(4))
+    });
+    g.finish();
+}
+
+/// Raw simulator throughput: simulated cycles per wall second.
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let cfg = RandomSharingConfig { refs_per_proc: 5_000, ..Default::default() };
+    g.bench_function("random_sharing_8procs_bitar", |b| {
+        b.iter(|| experiments::run_random(ProtocolKind::BitarDespain, 8, 4, 256, cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_figures,
+    bench_e1,
+    bench_locking,
+    bench_random_kernels,
+    bench_remaining,
+    bench_ablations,
+    bench_engine
+);
+criterion_main!(benches);

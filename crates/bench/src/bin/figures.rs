@@ -1,0 +1,20 @@
+//! Regenerates the paper's Figures 1-11 as simulator scenarios.
+//!
+//! Usage: `figures [N]` prints figure N (1-11), or all figures without an
+//! argument. Every scenario asserts the states and bus actions the paper's
+//! figure depicts; a violated expectation panics.
+
+use mcs_bench::figures;
+
+fn main() {
+    let arg: Option<u32> = std::env::args().nth(1).and_then(|a| a.parse().ok());
+    let figs = figures::all();
+    for fig in figs {
+        if arg.is_some_and(|n| n != fig.number) {
+            continue;
+        }
+        println!("==== Figure {}. {} ====", fig.number, fig.caption);
+        println!("{}", fig.body);
+        println!();
+    }
+}

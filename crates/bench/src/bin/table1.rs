@@ -1,0 +1,18 @@
+//! Regenerates the paper's Table 1 — "Evolution of Full-Broadcast,
+//! Write-In (Write-Back), Cache-Synchronization Schemes" — from the
+//! protocol implementations.
+
+use mcs_core::table1::{column_for, render};
+use mcs_core::{with_protocol, ProtocolKind};
+
+fn main() {
+    let columns: Vec<_> = ProtocolKind::EVOLUTION
+        .iter()
+        .map(|kind| with_protocol!(*kind, p => column_for(&p)))
+        .collect();
+    print!("{}", render(&columns));
+    println!();
+    println!("note: Illinois's shared state appears on the `Read, Clean` row with source");
+    println!("      status (the paper prints it on `Read` with an S annotation) because");
+    println!("      every Illinois copy carries source status; see EXPERIMENTS.md.");
+}

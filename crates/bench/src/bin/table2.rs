@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 2 — "Innovation Summary".
+
+fn main() {
+    print!("{}", mcs_core::table2::render());
+}

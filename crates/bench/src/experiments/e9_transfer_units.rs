@@ -1,0 +1,94 @@
+//! **E9 — Internal fragmentation and transfer units (Section D.3).**
+//!
+//! Under write-in a block should be devoted to the atom it contains, so
+//! large blocks suffer internal fragmentation: "an entire block must be
+//! transferred when access is requested to the (possibly smaller) atom on
+//! the block. A solution is to transfer smaller transfer units."
+//!
+//! We hold the block size at 16 words, shrink the transfer unit, and
+//! measure bus words per critical section for a small (few-word) atom
+//! bouncing between processors.
+
+use crate::report::{f, Report};
+use mcs_core::ProtocolKind;
+use mcs_sync::LockSchemeKind;
+
+/// Transfer-unit sweep, in words (16 = whole block, i.e. units disabled).
+pub const UNIT_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Words moved per critical section with the given transfer unit.
+pub fn words_per_section(unit: usize) -> f64 {
+    let words_per_block = 16;
+    let out = run_cs_with_unit(unit, words_per_block);
+    out.0 / out.1 as f64
+}
+
+fn run_cs_with_unit(unit: usize, words_per_block: usize) -> (f64, u64) {
+    use mcs_cache::CacheConfig;
+    use mcs_sim::{System, SystemConfig};
+    use mcs_workloads::CriticalSectionWorkload;
+
+    let mut cache = CacheConfig::fully_associative(32, words_per_block).unwrap();
+    if unit < words_per_block {
+        cache = cache.with_transfer_unit(unit).unwrap();
+    }
+    let mut w = CriticalSectionWorkload::builder()
+        .scheme(LockSchemeKind::CacheLock)
+        .locks(1)
+        .payload_blocks(1)
+        .payload_reads(1)
+        .payload_writes(2)
+        .think_cycles(20)
+        .iterations(15)
+        .words_per_block(words_per_block)
+        .build();
+    let mut sys =
+        System::new(mcs_core::BitarDespain, SystemConfig::new(4).with_cache(cache)).unwrap();
+    let stats = sys.run_workload(&mut w, 10_000_000).unwrap();
+    (stats.bus.words_transferred as f64, w.completed_sections())
+}
+
+/// Runs the sweep.
+pub fn run() -> Report {
+    let mut report = Report::new(
+        "E9: transfer units vs internal fragmentation (16-word blocks, few-word atom)",
+        &["transfer-unit-words", "bus-words/section"],
+    );
+    report.note("Section D.3: smaller transfer units avoid moving a whole block for a small atom");
+    for unit in UNIT_SWEEP {
+        report.row(vec![unit.to_string(), f(words_per_section(unit))]);
+    }
+    let _ = ProtocolKind::BitarDespain; // documented subject of the sweep
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_units_move_far_fewer_words() {
+        let one = words_per_section(1);
+        let full = words_per_section(16);
+        assert!(
+            one * 2.0 < full,
+            "1-word units ({one:.1} words/section) must move far less than whole blocks ({full:.1})"
+        );
+    }
+
+    #[test]
+    fn words_monotone_in_unit_size() {
+        let mut last = 0.0;
+        for unit in UNIT_SWEEP {
+            let w = words_per_section(unit);
+            assert!(w + 1e-9 >= last, "unit {unit}: words {w:.1} must not shrink from {last:.1}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn report_shape() {
+        let r = run();
+        assert_eq!(r.rows.len(), UNIT_SWEEP.len());
+    }
+}

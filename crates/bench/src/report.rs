@@ -1,0 +1,133 @@
+//! Plain-text result tables, as the harness binaries print them and the
+//! tests inspect them.
+
+use std::fmt::Write as _;
+
+/// A rendered experiment result: a titled table of rows.
+///
+/// ```
+/// use mcs_bench::report::Report;
+///
+/// let mut r = Report::new("demo", &["protocol", "cycles"]);
+/// r.row(vec!["bitar-despain".into(), "6.1".into()]);
+/// assert_eq!(r.cell_f64(0, "cycles"), Some(6.1));
+/// assert!(r.render().contains("== demo =="));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Experiment/figure title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (stringified).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (the paper claim being checked, parameters, …).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Report {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a cell by row index and header name.
+    pub fn cell(&self, row: usize, header: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == header)?;
+        self.rows.get(row)?.get(col).map(String::as_str)
+    }
+
+    /// Parses a cell as `f64`.
+    pub fn cell_f64(&self, row: usize, header: &str) -> Option<f64> {
+        self.cell(row, header)?.parse().ok()
+    }
+
+    /// Finds the first row whose `key_header` cell equals `key`.
+    pub fn find_row(&self, key_header: &str, key: &str) -> Option<usize> {
+        let col = self.headers.iter().position(|h| h == key_header)?;
+        self.rows.iter().position(|r| r[col] == key)
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for note in &self.notes {
+            let _ = writeln!(out, "   {note}");
+        }
+        let line = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}  ", cell, width = widths[i]);
+            }
+            let _ = writeln!(out);
+        };
+        line(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a float with three significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut r = Report::new("t", &["k", "v"]);
+        r.row(vec!["a".into(), "1.5".into()]);
+        r.row(vec!["b".into(), "2.5".into()]);
+        r.note("a note");
+        assert_eq!(r.cell(0, "k"), Some("a"));
+        assert_eq!(r.cell_f64(1, "v"), Some(2.5));
+        assert_eq!(r.find_row("k", "b"), Some(1));
+        assert_eq!(r.find_row("k", "z"), None);
+        assert_eq!(r.cell(0, "nope"), None);
+    }
+
+    #[test]
+    fn render_aligns() {
+        let mut r = Report::new("title", &["name", "value"]);
+        r.row(vec!["x".into(), "10".into()]);
+        let s = r.render();
+        assert!(s.contains("== title =="));
+        assert!(s.contains("name"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn float_format() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(f(0.0), "0.000");
+    }
+}

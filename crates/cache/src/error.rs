@@ -1,0 +1,75 @@
+//! Cache-layer errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by cache construction or operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// Set count must be a nonzero power of two.
+    InvalidSets(usize),
+    /// Associativity (ways) must be nonzero.
+    ZeroWays,
+    /// Block size must be a nonzero power of two words.
+    InvalidBlockSize(usize),
+    /// Transfer unit must be a nonzero power of two dividing the block size.
+    InvalidTransferUnit {
+        /// Requested unit, in words.
+        unit: usize,
+        /// Block size it must divide.
+        block: usize,
+    },
+    /// Every line in the set is locked; the victim cannot be chosen.
+    /// The paper pins locked blocks in the cache (Section E.3, "Two
+    /// Concerns"): a fully associative cache makes this practically
+    /// impossible, but a small set may hit it.
+    AllLinesLocked {
+        /// The set index whose lines are all locked.
+        set: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::InvalidSets(n) => {
+                write!(f, "set count {n} is not a nonzero power of two")
+            }
+            CacheError::ZeroWays => write!(f, "associativity must be nonzero"),
+            CacheError::InvalidBlockSize(n) => {
+                write!(f, "block size {n} is not a nonzero power of two words")
+            }
+            CacheError::InvalidTransferUnit { unit, block } => write!(
+                f,
+                "transfer unit {unit} must be a nonzero power of two dividing block size {block}"
+            ),
+            CacheError::AllLinesLocked { set } => {
+                write!(f, "all lines in set {set} are locked; cannot select a victim")
+            }
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty_lowercase() {
+        let errs = [
+            CacheError::InvalidSets(3),
+            CacheError::ZeroWays,
+            CacheError::InvalidBlockSize(7),
+            CacheError::InvalidTransferUnit { unit: 3, block: 4 },
+            CacheError::AllLinesLocked { set: 1 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

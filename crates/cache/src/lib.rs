@@ -1,0 +1,37 @@
+//! Cache organization for the `mcs` simulator: tagged data stores with LRU
+//! replacement, the directory-duality interference model of the paper's
+//! Feature 3, the **busy-wait register** of Section E.4, and optional
+//! sub-block *transfer units* (Section D.3).
+//!
+//! A cache here is a passive tagged store; all coherence decisions are made
+//! by a [`Protocol`](mcs_model::Protocol) and all bus mechanics by
+//! `mcs-sim`. Lines keep their tag and data when invalidated (the paper's
+//! "invalid copies"), which Rudolph-Segall's update-invalid-copies scheme
+//! requires.
+//!
+//! # Example
+//!
+//! ```
+//! use mcs_cache::CacheConfig;
+//!
+//! let config = CacheConfig::fully_associative(8, 4)?;
+//! assert_eq!(config.capacity_blocks(), 8);
+//! let sa = CacheConfig::set_associative(16, 2, 4)?;
+//! assert_eq!(sa.capacity_blocks(), 32);
+//! # Ok::<(), mcs_cache::CacheError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod busywait;
+mod config;
+mod directory;
+mod error;
+mod organization;
+
+pub use busywait::{BusyWaitRegister, BwPhase};
+pub use config::CacheConfig;
+pub use directory::DirectoryModel;
+pub use error::CacheError;
+pub use organization::{Cache, EvictedLine, Line};

@@ -1,0 +1,372 @@
+//! The tagged, set-associative cache data store.
+
+use crate::config::CacheConfig;
+use crate::error::CacheError;
+use mcs_model::{Addr, BlockAddr, LineState, Word};
+
+/// One cache line: a tag, a protocol state, the block's data words, and
+/// per-transfer-unit dirty bits.
+///
+/// The tag and data persist when the state becomes invalid — an *invalid
+/// copy* in the paper's vocabulary — until the frame is reused.
+#[derive(Debug, Clone)]
+pub struct Line<S> {
+    /// The block this frame holds (valid or invalid copy).
+    pub tag: BlockAddr,
+    /// Protocol state.
+    pub state: S,
+    /// Block data.
+    pub data: Box<[Word]>,
+    /// Per-transfer-unit dirty bits (length = `units_per_block`).
+    pub unit_dirty: Box<[bool]>,
+    last_use: u64,
+}
+
+impl<S: LineState> Line<S> {
+    fn new(tag: BlockAddr, words: usize, units: usize, now: u64) -> Self {
+        Line {
+            tag,
+            state: S::invalid(),
+            data: vec![Word(0); words].into_boxed_slice(),
+            unit_dirty: vec![false; units].into_boxed_slice(),
+            last_use: now,
+        }
+    }
+
+    /// Number of dirty transfer units.
+    pub fn dirty_units(&self) -> usize {
+        self.unit_dirty.iter().filter(|d| **d).count()
+    }
+
+    /// Clears all unit dirty bits (after a flush).
+    pub fn clear_unit_dirty(&mut self) {
+        self.unit_dirty.iter_mut().for_each(|d| *d = false);
+    }
+}
+
+/// A line evicted to make room, handed back to the simulator so it can
+/// issue the write-back the protocol requires.
+#[derive(Debug, Clone)]
+pub struct EvictedLine<S> {
+    /// The evicted block.
+    pub tag: BlockAddr,
+    /// Its state at eviction.
+    pub state: S,
+    /// Its data (for the write-back).
+    pub data: Box<[Word]>,
+    /// How many transfer units were dirty.
+    pub dirty_units: usize,
+}
+
+/// A set-associative, LRU-replaced cache store holding protocol states of
+/// type `S`.
+#[derive(Debug, Clone)]
+pub struct Cache<S> {
+    config: CacheConfig,
+    sets: Vec<Vec<Line<S>>>,
+    clock: u64,
+}
+
+impl<S: LineState> Cache<S> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache { config, sets: (0..config.sets()).map(|_| Vec::new()).collect(), clock: 0 }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) & (self.config.sets() - 1)
+    }
+
+    /// Looks up the frame holding `block` (valid **or invalid** copy).
+    pub fn lookup(&self, block: BlockAddr) -> Option<&Line<S>> {
+        self.sets[self.set_index(block)].iter().find(|l| l.tag == block)
+    }
+
+    /// Mutable lookup.
+    pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<&mut Line<S>> {
+        let set = self.set_index(block);
+        self.sets[set].iter_mut().find(|l| l.tag == block)
+    }
+
+    /// The protocol state for `block`; `S::invalid()` when no frame holds
+    /// it (or the frame is an invalid copy, whose state *is* invalid).
+    pub fn state_of(&self, block: BlockAddr) -> S {
+        self.lookup(block).map(|l| l.state).unwrap_or_else(S::invalid)
+    }
+
+    /// Marks `block` most-recently-used.
+    pub fn touch(&mut self, block: BlockAddr) {
+        self.clock += 1;
+        let now = self.clock;
+        if let Some(line) = self.lookup_mut(block) {
+            line.last_use = now;
+        }
+    }
+
+    /// Returns the frame for `block`, allocating one (possibly evicting the
+    /// LRU non-locked victim) if none exists. A newly allocated frame
+    /// starts in `S::invalid()` with zeroed data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::AllLinesLocked`] if the set is full and every
+    /// resident line is locked (locked blocks are pinned, Section E.3).
+    pub fn ensure_frame(
+        &mut self,
+        block: BlockAddr,
+    ) -> Result<(&mut Line<S>, Option<EvictedLine<S>>), CacheError> {
+        self.ensure_frame_with(block, false)
+    }
+
+    /// Like [`Cache::ensure_frame`], but if `spill_locked` is set and every
+    /// resident line is locked, the LRU *locked* line is evicted anyway —
+    /// the paper's minor protocol modification where the purged block's
+    /// lock bit is written to memory (Section E.3, "Two Concerns").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::AllLinesLocked`] only when `spill_locked` is
+    /// false and no unlocked victim exists.
+    pub fn ensure_frame_with(
+        &mut self,
+        block: BlockAddr,
+        spill_locked: bool,
+    ) -> Result<(&mut Line<S>, Option<EvictedLine<S>>), CacheError> {
+        self.clock += 1;
+        let now = self.clock;
+        let set_idx = self.set_index(block);
+        let words = self.config.geometry().words_per_block();
+        let units = self.config.units_per_block();
+        let ways = self.config.ways();
+        let set = &mut self.sets[set_idx];
+
+        if let Some(pos) = set.iter().position(|l| l.tag == block) {
+            set[pos].last_use = now;
+            return Ok((&mut set[pos], None));
+        }
+
+        let mut evicted = None;
+        if set.len() >= ways {
+            // Victim: prefer an invalid copy; otherwise LRU among
+            // non-locked lines; locked lines only under spill_locked.
+            let victim = set
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.state.descriptor().is_locked())
+                .min_by_key(|(_, l)| (l.state.descriptor().is_valid(), l.last_use))
+                .map(|(i, _)| i)
+                .or_else(|| {
+                    if spill_locked {
+                        set.iter()
+                            .enumerate()
+                            .min_by_key(|(_, l)| l.last_use)
+                            .map(|(i, _)| i)
+                    } else {
+                        None
+                    }
+                })
+                .ok_or(CacheError::AllLinesLocked { set: set_idx })?;
+            let old = set.swap_remove(victim);
+            evicted = Some(EvictedLine {
+                tag: old.tag,
+                state: old.state,
+                dirty_units: old.dirty_units(),
+                data: old.data,
+            });
+        }
+        set.push(Line::new(block, words, units, now));
+        let pos = set.len() - 1;
+        Ok((&mut set[pos], evicted))
+    }
+
+    /// Reads the word at `addr` if its block is resident (regardless of
+    /// validity — the caller checks the state).
+    pub fn read_word(&self, addr: Addr) -> Option<Word> {
+        let geom = self.config.geometry();
+        let line = self.lookup(geom.block_of(addr))?;
+        Some(line.data[geom.offset_of(addr)])
+    }
+
+    /// Writes the word at `addr` (block must be resident) and sets the
+    /// containing transfer unit's dirty bit. Returns `true` on success.
+    pub fn write_word(&mut self, addr: Addr, value: Word) -> bool {
+        let geom = self.config.geometry();
+        let unit_words = self.config.transfer_unit_words().unwrap_or(geom.words_per_block());
+        let block = geom.block_of(addr);
+        let offset = geom.offset_of(addr);
+        match self.lookup_mut(block) {
+            Some(line) => {
+                line.data[offset] = value;
+                line.unit_dirty[offset / unit_words] = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over all resident lines.
+    pub fn lines(&self) -> impl Iterator<Item = &Line<S>> {
+        self.sets.iter().flatten()
+    }
+
+    /// Iterates mutably over all resident lines.
+    pub fn lines_mut(&mut self) -> impl Iterator<Item = &mut Line<S>> {
+        self.sets.iter_mut().flatten()
+    }
+
+    /// Number of resident frames (valid or invalid copies).
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines().filter(|l| l.state.descriptor().is_valid()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{Privilege, StateDescriptor};
+    use std::fmt;
+
+    /// A minimal test state: Invalid / Read / Write / Lock.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum TS {
+        I,
+        R,
+        W,
+        L,
+    }
+
+    impl fmt::Display for TS {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{self:?}")
+        }
+    }
+
+    impl LineState for TS {
+        fn invalid() -> Self {
+            TS::I
+        }
+        fn descriptor(&self) -> StateDescriptor {
+            let privilege = match self {
+                TS::I => None,
+                TS::R => Some(Privilege::Read),
+                TS::W => Some(Privilege::Write),
+                TS::L => Some(Privilege::Lock),
+            };
+            StateDescriptor { privilege, source: false, dirty: false, waiter: false }
+        }
+        fn all() -> &'static [Self] {
+            &[TS::I, TS::R, TS::W, TS::L]
+        }
+    }
+
+    fn cache(blocks: usize) -> Cache<TS> {
+        Cache::new(CacheConfig::fully_associative(blocks, 4).unwrap())
+    }
+
+    #[test]
+    fn miss_then_allocate() {
+        let mut c = cache(2);
+        assert!(c.lookup(BlockAddr(5)).is_none());
+        assert_eq!(c.state_of(BlockAddr(5)), TS::I);
+        let (line, evicted) = c.ensure_frame(BlockAddr(5)).unwrap();
+        assert!(evicted.is_none());
+        assert_eq!(line.tag, BlockAddr(5));
+        assert_eq!(line.state, TS::I);
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_invalid_then_oldest() {
+        let mut c = cache(2);
+        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R;
+        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::I; // invalid copy
+        // Full; next allocation must evict the invalid copy, not the LRU.
+        let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
+        assert_eq!(evicted.unwrap().tag, BlockAddr(2));
+        assert!(c.lookup(BlockAddr(1)).is_some());
+    }
+
+    #[test]
+    fn lru_order_respected_among_valid() {
+        let mut c = cache(2);
+        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R;
+        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::R;
+        c.touch(BlockAddr(1)); // 2 becomes LRU
+        let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
+        assert_eq!(evicted.unwrap().tag, BlockAddr(2));
+    }
+
+    #[test]
+    fn locked_lines_are_pinned() {
+        let mut c = cache(2);
+        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::L;
+        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::L;
+        let err = c.ensure_frame(BlockAddr(3)).unwrap_err();
+        assert_eq!(err, CacheError::AllLinesLocked { set: 0 });
+        // Unlock one; allocation succeeds and evicts it.
+        c.lookup_mut(BlockAddr(1)).unwrap().state = TS::W;
+        let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
+        assert_eq!(evicted.unwrap().tag, BlockAddr(1));
+        assert!(c.lookup(BlockAddr(2)).is_some());
+    }
+
+    #[test]
+    fn set_mapping_isolates_sets() {
+        let mut c: Cache<TS> = Cache::new(CacheConfig::set_associative(2, 1, 4).unwrap());
+        c.ensure_frame(BlockAddr(0)).unwrap().0.state = TS::R; // set 0
+        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R; // set 1
+        // Block 2 maps to set 0 and evicts block 0 only.
+        let (_, evicted) = c.ensure_frame(BlockAddr(2)).unwrap();
+        assert_eq!(evicted.unwrap().tag, BlockAddr(0));
+        assert!(c.lookup(BlockAddr(1)).is_some());
+    }
+
+    #[test]
+    fn data_read_write_and_unit_dirty() {
+        let mut c = cache(4);
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        assert!(c.write_word(Addr(5), Word(42)));
+        assert_eq!(c.read_word(Addr(5)), Some(Word(42)));
+        assert_eq!(c.read_word(Addr(4)), Some(Word(0)));
+        assert!(c.read_word(Addr(100)).is_none());
+        assert!(!c.write_word(Addr(100), Word(1)));
+        // Whole block is one unit by default.
+        assert_eq!(c.lookup(BlockAddr(1)).unwrap().dirty_units(), 1);
+    }
+
+    #[test]
+    fn transfer_units_track_dirty_subblocks() {
+        let cfg = CacheConfig::fully_associative(4, 4).unwrap().with_transfer_unit(1).unwrap();
+        let mut c: Cache<TS> = Cache::new(cfg);
+        c.ensure_frame(BlockAddr(0)).unwrap();
+        c.write_word(Addr(1), Word(7));
+        c.write_word(Addr(3), Word(8));
+        let line = c.lookup(BlockAddr(0)).unwrap();
+        assert_eq!(line.dirty_units(), 2);
+        assert_eq!(line.unit_dirty.as_ref(), &[false, true, false, true]);
+        c.lookup_mut(BlockAddr(0)).unwrap().clear_unit_dirty();
+        assert_eq!(c.lookup(BlockAddr(0)).unwrap().dirty_units(), 0);
+    }
+
+    #[test]
+    fn invalid_copy_retains_tag_and_data() {
+        let mut c = cache(4);
+        c.ensure_frame(BlockAddr(9)).unwrap().0.state = TS::W;
+        c.write_word(Addr(36), Word(5));
+        c.lookup_mut(BlockAddr(9)).unwrap().state = TS::I; // invalidated
+        // Still resident: tag matches and data readable (invalid copy).
+        assert_eq!(c.read_word(Addr(36)), Some(Word(5)));
+        assert_eq!(c.valid_lines(), 0);
+        assert_eq!(c.resident(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! The paper's **Table 2** — "Innovation Summary": which scheme introduced
+//! which mechanism, organized as the evolution narrative of Section F.
+//!
+//! The entries are structured data (so tests can check them against the
+//! protocols' feature sets) and render to the paper's layout.
+
+use std::fmt::Write as _;
+
+/// One scheme's entry in the innovation summary.
+#[derive(Debug, Clone)]
+pub struct Innovation {
+    /// Group heading in the table ("Early Schemes", "Full Broadcast,
+    /// Write-In", "Write-In/Write-Through Schemes").
+    pub group: &'static str,
+    /// The scheme.
+    pub scheme: &'static str,
+    /// Its innovations, as the paper lists them.
+    pub items: &'static [&'static str],
+}
+
+/// The full innovation summary, in the paper's order.
+pub fn innovations() -> Vec<Innovation> {
+    vec![
+        Innovation {
+            group: "Early Schemes",
+            scheme: "Classic (pre-1978) write-through",
+            items: &[
+                "identical dual directories",
+                "broadcast an invalidation request on every write",
+            ],
+        },
+        Innovation {
+            group: "Early Schemes",
+            scheme: "Censier, Feautrier (1978) partial-broadcast, write-in",
+            items: &[
+                "cache-to-cache transfer for dirty blocks",
+                "primitive efficient busy wait - loop on block in cache",
+            ],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Goodman (1983)",
+            items: &[
+                "identical dual directories",
+                "fully-distributed read/write/dirty/source status",
+                "cache-to-cache transfer (source status) for dirty blocks",
+                "flushing on cache-to-cache transfer",
+                "serializing conflicting single reads and writes",
+            ],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Frank (1984)",
+            items: &["bus invalidate signal", "no flushing on cache-to-cache transfer"],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Papamarcos, Patel (1984)",
+            items: &[
+                "cache-to-cache transfer (source status) for clean blocks",
+                "fetching unshared data for write privilege on read miss - dynamic determination using bus hit line",
+                "multiple sources for read-shared block; a read-privilege source arbitrates before providing a block",
+                "serializing atomic read-modify-writes",
+            ],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Yen, Yen, Fu (1985)",
+            items: &[
+                "fetching unshared data for write privilege - static determination using program declaration",
+            ],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Katz, Eggers, Wood, Perkins, Sheldon (1985)",
+            items: &[
+                "cache-to-cache transfer for read request, without flushing - dirty read state",
+                "dual-ported-read directory and data-store",
+                "single source for read-shared (dirty) block - fetch from memory if source purges block",
+            ],
+        },
+        Innovation {
+            group: "Full Broadcast, Write-In",
+            scheme: "Our proposal",
+            items: &[
+                "efficient busy-wait locking - lock state",
+                "efficient busy-waiting - lock-waiter state, busy-wait register",
+                "analysis of interdirectory interference",
+                "single source for read-shared block, but last fetcher becomes source, allowing LRU replacement across caches",
+                "writing without fetch on write miss, to save process state",
+            ],
+        },
+        Innovation {
+            group: "Write-In/Write-Through Schemes",
+            scheme: "Dragon, Firefly (McCreight 1984; Archibald, Baer 1985)",
+            items: &["dynamic determination of shared status using bus hit line"],
+        },
+        Innovation {
+            group: "Write-In/Write-Through Schemes",
+            scheme: "Rudolph, Segall (1984)",
+            items: &[
+                "dynamic determination of shared status using interleaving of accesses among the processors",
+                "efficient busy wait",
+            ],
+        },
+    ]
+}
+
+/// Renders the innovation summary in the paper's layout.
+pub fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2. Innovation Summary");
+    let mut group = "";
+    for inn in innovations() {
+        if inn.group != group {
+            group = inn.group;
+            let _ = writeln!(out, "\n== {group} ==");
+        }
+        let _ = writeln!(out, "* {}", inn.scheme);
+        for item in inn.items {
+            let _ = writeln!(out, "    - {item}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BitarDespain;
+    use mcs_model::{Protocol, RmwMethod, SharingDetermination, SourcePolicy};
+    use mcs_protocols::{Berkeley, Goodman, Illinois, RudolphSegall, Synapse, Yen};
+
+    #[test]
+    fn covers_all_schemes_in_order() {
+        let schemes: Vec<_> = innovations().iter().map(|i| i.scheme).collect();
+        assert_eq!(schemes.len(), 10);
+        assert!(schemes[0].contains("Classic"));
+        assert!(schemes[7].contains("Our proposal"));
+        assert!(schemes[9].contains("Rudolph"));
+    }
+
+    #[test]
+    fn innovation_claims_consistent_with_feature_sets() {
+        // Frank introduced the invalidate signal; Goodman lacks it.
+        assert!(!Goodman.features().bus_invalidate_signal);
+        assert!(Synapse.features().bus_invalidate_signal);
+        // Papamarcos-Patel introduced dynamic read-for-write.
+        assert_eq!(Goodman.features().read_for_write, None);
+        assert_eq!(Illinois.features().read_for_write, Some(SharingDetermination::Dynamic));
+        // Yen's static variant.
+        assert_eq!(Yen.features().read_for_write, Some(SharingDetermination::Static));
+        // Katz: single source, memory on loss.
+        assert_eq!(Berkeley.features().source_policy, SourcePolicy::MemoryOnLoss);
+        // Ours: lock-state RMW, LRU source, write-no-fetch, efficient busy wait.
+        let ours = BitarDespain.features();
+        assert_eq!(ours.atomic_rmw, Some(RmwMethod::LockState));
+        assert_eq!(ours.source_policy, SourcePolicy::LruLastFetcher);
+        assert!(ours.write_no_fetch);
+        assert!(ours.efficient_busy_wait);
+        // Rudolph-Segall also claims efficient busy wait.
+        assert!(RudolphSegall.features().efficient_busy_wait);
+        // And nobody else does.
+        for (name, ebw) in [
+            ("goodman", Goodman.features().efficient_busy_wait),
+            ("synapse", Synapse.features().efficient_busy_wait),
+            ("illinois", Illinois.features().efficient_busy_wait),
+            ("yen", Yen.features().efficient_busy_wait),
+            ("berkeley", Berkeley.features().efficient_busy_wait),
+        ] {
+            assert!(!ebw, "{name} must not claim efficient busy wait");
+        }
+    }
+
+    #[test]
+    fn render_lists_groups_and_items() {
+        let s = render();
+        assert!(s.contains("== Early Schemes =="));
+        assert!(s.contains("== Full Broadcast, Write-In =="));
+        assert!(s.contains("== Write-In/Write-Through Schemes =="));
+        assert!(s.contains("lock state"));
+        assert!(s.contains("busy-wait register"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types shared by the model layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing model-layer configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Block size must be a nonzero power of two words.
+    InvalidBlockSize(usize),
+    /// A timing parameter must be nonzero.
+    ZeroTiming(&'static str),
+    /// Transfer-unit size must be a nonzero power of two dividing the block size.
+    InvalidTransferUnit {
+        /// Requested transfer-unit size in words.
+        unit: usize,
+        /// Block size in words it must divide.
+        block: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidBlockSize(n) => {
+                write!(f, "block size {n} is not a nonzero power of two words")
+            }
+            ModelError::ZeroTiming(what) => {
+                write!(f, "timing parameter `{what}` must be nonzero")
+            }
+            ModelError::InvalidTransferUnit { unit, block } => write!(
+                f,
+                "transfer unit {unit} must be a nonzero power of two dividing block size {block}"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            ModelError::InvalidBlockSize(3),
+            ModelError::ZeroTiming("word_transfer"),
+            ModelError::InvalidTransferUnit { unit: 3, block: 8 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,326 @@
+//! The feature taxonomy of the paper's Table 1 ("Evolution of
+//! Full-Broadcast, Write-In Cache-Synchronization Schemes").
+//!
+//! Every protocol reports a [`FeatureSet`]; the Table 1 generator in
+//! `mcs-core` renders the matrix from these values and the protocol's
+//! reachable states, and the experiment harness uses them to decide which
+//! mechanisms a run exercises (e.g. whether the simulator should model
+//! source arbitration, Feature 8).
+
+use std::fmt;
+
+/// Feature 2: which status bits are fully distributed among the caches
+/// (R/W/L/D/S in the table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DistributedState {
+    /// Read privilege.
+    pub read: bool,
+    /// Write privilege.
+    pub write: bool,
+    /// Lock privilege (only the paper's proposal).
+    pub lock: bool,
+    /// Dirty status.
+    pub dirty: bool,
+    /// Source status (Frank keeps a source bit in main memory instead).
+    pub source: bool,
+}
+
+impl DistributedState {
+    /// All of read/write/dirty/source, but not lock — the common case of
+    /// the 1983–85 protocols.
+    pub const RWDS: DistributedState =
+        DistributedState { read: true, write: true, lock: false, dirty: true, source: true };
+
+    /// Read/write/dirty only; source status lives in memory (Frank).
+    pub const RWD: DistributedState =
+        DistributedState { read: true, write: true, lock: false, dirty: true, source: false };
+
+    /// Everything including lock status (the paper's proposal).
+    pub const RWLDS: DistributedState =
+        DistributedState { read: true, write: true, lock: true, dirty: true, source: true };
+}
+
+impl fmt::Display for DistributedState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.read {
+            f.write_str("R")?;
+        }
+        if self.write {
+            f.write_str("W")?;
+        }
+        if self.lock {
+            f.write_str("L")?;
+        }
+        if self.dirty {
+            f.write_str("D")?;
+        }
+        if self.source {
+            f.write_str("S")?;
+        }
+        Ok(())
+    }
+}
+
+/// Feature 3: how the cache directory is organized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirectoryDuality {
+    /// Two identical directories, one per port (classic; Goodman, Frank,
+    /// Papamarcos & Patel).
+    IdenticalDual,
+    /// Two non-identical directories: dirty status only in the processor
+    /// directory, waiter status only in the bus directory — eliminates
+    /// status-update interference (the paper's proposal).
+    NonIdenticalDual,
+    /// One directory with a dual-ported read (Katz et al.); reduces
+    /// hardware but write cycles interfere.
+    DualPortedRead,
+}
+
+impl fmt::Display for DirectoryDuality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DirectoryDuality::IdenticalDual => "ID",
+            DirectoryDuality::NonIdenticalDual => "NID",
+            DirectoryDuality::DualPortedRead => "DPR",
+        })
+    }
+}
+
+/// Feature 5: how "unshared" status is determined when fetching data for
+/// write privilege on a read miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharingDetermination {
+    /// Dynamically, via the open-collector bus *hit* line (Papamarcos &
+    /// Patel; the paper's proposal; Dragon and Firefly).
+    Dynamic,
+    /// Statically, via a compiler-inserted read-for-write instruction
+    /// (Yen et al.; Katz et al.).
+    Static,
+}
+
+impl fmt::Display for SharingDetermination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SharingDetermination::Dynamic => "D",
+            SharingDetermination::Static => "S",
+        })
+    }
+}
+
+/// Feature 6: how processor atomic read-modify-write instructions are
+/// serialized (the four methods of Section F.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwMethod {
+    /// Method 1: access and hold the main-memory module for the whole
+    /// operation (Rudolph & Segall).
+    HoldMemory,
+    /// Method 2: fetch the block for sole access at the start and hold the
+    /// cache through the operation (Frank; Katz et al.'s planned
+    /// test-and-set).
+    FetchAndHoldCache,
+    /// Method 3: fetch write privilege only at the write; abort the
+    /// instruction if the block was stolen between read and write.
+    OptimisticAbort,
+    /// Method 4: lock just the target atom with the cache lock state
+    /// (the paper's proposal, Section E.3).
+    LockState,
+}
+
+impl fmt::Display for RmwMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RmwMethod::HoldMemory => "hold-memory",
+            RmwMethod::FetchAndHoldCache => "fetch-and-hold-cache",
+            RmwMethod::OptimisticAbort => "optimistic-abort",
+            RmwMethod::LockState => "lock-state",
+        })
+    }
+}
+
+/// Feature 7: what happens to the block on a cache-to-cache transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlushPolicy {
+    /// Flush the block to memory concurrently with the transfer
+    /// (Goodman, Papamarcos & Patel).
+    Flush,
+    /// Do not flush; if `transfer_status` the clean/dirty status travels
+    /// with the block (Katz et al.; the paper's proposal).
+    NoFlush {
+        /// Whether clean/dirty status is transferred with the block.
+        transfer_status: bool,
+    },
+}
+
+impl fmt::Display for FlushPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlushPolicy::Flush => f.write_str("F"),
+            FlushPolicy::NoFlush { transfer_status: true } => f.write_str("NF,S"),
+            FlushPolicy::NoFlush { transfer_status: false } => f.write_str("NF"),
+        }
+    }
+}
+
+/// Feature 8: how many caches may hold source status for a read-privilege
+/// block, and what happens when the source is lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourcePolicy {
+    /// The protocol has no source for read-privilege blocks (only
+    /// dirty/exclusive blocks have a source): Goodman, Frank, Yen.
+    NoReadSource,
+    /// Multiple sources allowed; potential sources arbitrate before one
+    /// provides the block (Papamarcos & Patel) — slows the transfer.
+    Arbitrate,
+    /// A single source; if it purges the block, the next fetch is serviced
+    /// by memory (Katz et al.).
+    MemoryOnLoss,
+    /// A single source, but the *last fetcher* becomes the new source, so
+    /// LRU replacement across caches tends to preserve a source
+    /// (the paper's proposal). Falls back to memory when lost.
+    LruLastFetcher,
+}
+
+impl fmt::Display for SourcePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SourcePolicy::NoReadSource => "-",
+            SourcePolicy::Arbitrate => "ARB",
+            SourcePolicy::MemoryOnLoss => "MEM",
+            SourcePolicy::LruLastFetcher => "LRU,MEM",
+        })
+    }
+}
+
+/// A protocol's full Table 1 feature set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSet {
+    /// Feature 1: cache-to-cache transfer with serialization of conflicting
+    /// single reads and writes.
+    pub cache_to_cache: bool,
+    /// Table 1 note 1: does a source cache service *read*-privilege
+    /// requests, or only write-privilege requests (Frank)?
+    pub c2c_serves_reads: bool,
+    /// Feature 2: fully-distributed state information.
+    pub distributed: DistributedState,
+    /// Feature 3: directory duality.
+    pub directory: DirectoryDuality,
+    /// Feature 4: bus invalidate signal (no invalidation write-through).
+    pub bus_invalidate_signal: bool,
+    /// Feature 5: fetching unshared data for write privilege on read miss.
+    pub read_for_write: Option<SharingDetermination>,
+    /// Feature 6: processor atomic read-modify-write support.
+    pub atomic_rmw: Option<RmwMethod>,
+    /// Feature 7: flushing on cache-to-cache transfer.
+    pub flush_on_transfer: FlushPolicy,
+    /// Feature 8: number of sources for a read-privilege block.
+    pub source_policy: SourcePolicy,
+    /// Feature 9: writing without fetch on write miss.
+    pub write_no_fetch: bool,
+    /// Feature 10: efficient busy wait.
+    pub efficient_busy_wait: bool,
+    /// Section D: is this a write-in (write-back) scheme, a write-through
+    /// scheme, or a hybrid (Rudolph-Segall, Dragon, Firefly)?
+    pub write_policy: WritePolicy,
+}
+
+/// Section D: the policy for updating other caches on writes to shared data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WritePolicy {
+    /// Write-in (write-back): invalidate other copies on a write.
+    WriteIn,
+    /// Write-through: update other copies (and memory) on every write.
+    WriteThrough,
+    /// Write-through for actively shared data, write-in otherwise
+    /// (Dragon, Firefly, Rudolph-Segall).
+    Hybrid,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WritePolicy::WriteIn => "write-in",
+            WritePolicy::WriteThrough => "write-through",
+            WritePolicy::Hybrid => "hybrid",
+        })
+    }
+}
+
+impl FeatureSet {
+    /// A conservative baseline: the classic pre-1978 write-through scheme
+    /// (Table 2, "Early Schemes"). Protocol implementations start from this
+    /// and enable what they add.
+    pub fn classic_write_through() -> Self {
+        FeatureSet {
+            cache_to_cache: false,
+            c2c_serves_reads: false,
+            distributed: DistributedState {
+                read: true,
+                write: false,
+                lock: false,
+                dirty: false,
+                source: false,
+            },
+            directory: DirectoryDuality::IdenticalDual,
+            bus_invalidate_signal: false,
+            read_for_write: None,
+            atomic_rmw: None,
+            flush_on_transfer: FlushPolicy::Flush,
+            source_policy: SourcePolicy::NoReadSource,
+            write_no_fetch: false,
+            efficient_busy_wait: false,
+            write_policy: WritePolicy::WriteThrough,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_state_display_matches_table() {
+        assert_eq!(DistributedState::RWDS.to_string(), "RWDS");
+        assert_eq!(DistributedState::RWD.to_string(), "RWD");
+        assert_eq!(DistributedState::RWLDS.to_string(), "RWLDS");
+    }
+
+    #[test]
+    fn directory_display() {
+        assert_eq!(DirectoryDuality::IdenticalDual.to_string(), "ID");
+        assert_eq!(DirectoryDuality::NonIdenticalDual.to_string(), "NID");
+        assert_eq!(DirectoryDuality::DualPortedRead.to_string(), "DPR");
+    }
+
+    #[test]
+    fn flush_policy_display_matches_table() {
+        assert_eq!(FlushPolicy::Flush.to_string(), "F");
+        assert_eq!(FlushPolicy::NoFlush { transfer_status: true }.to_string(), "NF,S");
+        assert_eq!(FlushPolicy::NoFlush { transfer_status: false }.to_string(), "NF");
+    }
+
+    #[test]
+    fn source_policy_display_matches_table() {
+        assert_eq!(SourcePolicy::Arbitrate.to_string(), "ARB");
+        assert_eq!(SourcePolicy::MemoryOnLoss.to_string(), "MEM");
+        assert_eq!(SourcePolicy::LruLastFetcher.to_string(), "LRU,MEM");
+        assert_eq!(SourcePolicy::NoReadSource.to_string(), "-");
+    }
+
+    #[test]
+    fn sharing_determination_display() {
+        assert_eq!(SharingDetermination::Dynamic.to_string(), "D");
+        assert_eq!(SharingDetermination::Static.to_string(), "S");
+    }
+
+    #[test]
+    fn classic_baseline_has_nothing_fancy() {
+        let f = FeatureSet::classic_write_through();
+        assert!(!f.cache_to_cache);
+        assert!(!f.bus_invalidate_signal);
+        assert!(f.read_for_write.is_none());
+        assert!(f.atomic_rmw.is_none());
+        assert!(!f.write_no_fetch);
+        assert!(!f.efficient_busy_wait);
+        assert_eq!(f.write_policy, WritePolicy::WriteThrough);
+    }
+}

@@ -1,0 +1,57 @@
+//! Foundation types and traits for the `mcs` multiprocessor cache
+//! synchronization simulator — a reproduction of Bitar & Despain,
+//! *"Multiprocessor Cache Synchronization: Issues, Innovations, Evolution"*,
+//! ISCA 1986.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`types`] — identifiers, addresses and block geometry;
+//! * [`ops`] — the processor-side access vocabulary ([`AccessKind`]);
+//! * [`bus`] — the bus-transaction vocabulary ([`BusOp`], snoop replies);
+//! * [`protocol`] — the [`Protocol`] trait each coherence scheme implements;
+//! * [`timing`] — the cycle-cost model of the single broadcast bus;
+//! * [`features`] — the Table 1 feature taxonomy ([`FeatureSet`]);
+//! * [`stats`] — counters gathered by the simulator;
+//! * [`trace`] — the event trace used to regenerate the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use mcs_model::{Addr, BlockGeometry, Privilege};
+//!
+//! let geom = BlockGeometry::new(4)?; // 4 words per block
+//! let addr = Addr(13);
+//! assert_eq!(geom.block_of(addr).0, 3);
+//! assert_eq!(geom.offset_of(addr), 1);
+//! assert!(Privilege::Write.covers(Privilege::Read));
+//! # Ok::<(), mcs_model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod error;
+pub mod features;
+pub mod ops;
+pub mod protocol;
+pub mod stats;
+pub mod timing;
+pub mod trace;
+pub mod types;
+
+pub use bus::{BusOp, BusTxn, SnoopReply, SnoopSummary, UpdateTarget};
+pub use error::ModelError;
+pub use features::{
+    DirectoryDuality, DistributedState, FeatureSet, FlushPolicy, RmwMethod, SharingDetermination,
+    SourcePolicy, WritePolicy,
+};
+pub use ops::{AccessKind, ProcOp};
+pub use protocol::{
+    CompleteOutcome, EvictAction, LineState, Privilege, ProcAction, Protocol, SnoopOutcome,
+    StateDescriptor,
+};
+pub use stats::{BusStats, DirectoryStats, LockStats, ProcStats, SourceStats, Stats};
+pub use timing::TimingConfig;
+pub use trace::{Event, StateCause, Trace};
+pub use types::{Addr, AgentId, BlockAddr, BlockGeometry, CacheId, Cycles, ProcId, Word};

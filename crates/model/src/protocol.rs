@@ -1,0 +1,317 @@
+//! The [`Protocol`] trait: the contract every coherence scheme implements.
+//!
+//! A protocol is a per-cache-line state machine with three entry points,
+//! mirroring the three ways a snooping cache is driven:
+//!
+//! 1. [`Protocol::proc_access`] — its own processor presents an access;
+//!    the line either satisfies it locally (*hit*) or the cache must take
+//!    the bus;
+//! 2. [`Protocol::snoop`] — another agent's bus transaction is broadcast;
+//!    the cache updates the line and drives the bus reply lines;
+//! 3. [`Protocol::complete`] — the cache's own bus transaction finishes and
+//!    the line's new state is installed, given what the snoop lines showed.
+//!
+//! The simulator (`mcs-sim`) is generic over `P: Protocol` and owns all
+//! mechanism that is *not* protocol-specific: arbitration, timing, data
+//! movement, the busy-wait registers, and the coherence oracles.
+
+use crate::bus::{BusOp, BusTxn, SnoopReply, SnoopSummary};
+use crate::features::FeatureSet;
+use crate::ops::AccessKind;
+use std::fmt;
+use std::hash::Hash;
+
+/// Access privilege carried by a bus request or held by a cache line.
+///
+/// `Lock` covers `Write` covers `Read` (Section E.1: lock privilege is
+/// read-and-write privilege plus the lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Privilege {
+    /// Shared-access (read-only) privilege.
+    Read,
+    /// Sole-access (read-and-write) privilege.
+    Write,
+    /// Sole access plus the block is locked by this cache.
+    Lock,
+}
+
+impl Privilege {
+    /// Does holding `self` satisfy a request for `other`?
+    pub fn covers(self, other: Privilege) -> bool {
+        self >= other
+    }
+}
+
+impl fmt::Display for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Privilege::Read => "read",
+            Privilege::Write => "write",
+            Privilege::Lock => "lock",
+        })
+    }
+}
+
+/// Protocol-independent description of a cache-line state, used for
+/// statistics, trace display, the Table 1 generator, and the simulator's
+/// single-source / single-writer oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateDescriptor {
+    /// Privilege held, or `None` when the line is invalid.
+    pub privilege: Option<Privilege>,
+    /// The line holds *source* status: it provides the block and its
+    /// clean/dirty status on the next request (Section E.1).
+    pub source: bool,
+    /// The block was written and memory not yet updated.
+    pub dirty: bool,
+    /// Another processor requested the block while it was locked
+    /// (the lock-waiter state, Section E.3).
+    pub waiter: bool,
+}
+
+impl StateDescriptor {
+    /// An invalid line.
+    pub const INVALID: StateDescriptor =
+        StateDescriptor { privilege: None, source: false, dirty: false, waiter: false };
+
+    /// Is the line valid (meaningful)?
+    pub fn is_valid(&self) -> bool {
+        self.privilege.is_some()
+    }
+
+    /// May the processor read the line without the bus?
+    pub fn can_read(&self) -> bool {
+        self.privilege.is_some()
+    }
+
+    /// May the processor write the line without gaining privilege first?
+    pub fn can_write(&self) -> bool {
+        matches!(self.privilege, Some(Privilege::Write) | Some(Privilege::Lock))
+    }
+
+    /// Is the block locked by this cache?
+    pub fn is_locked(&self) -> bool {
+        self.privilege == Some(Privilege::Lock)
+    }
+}
+
+impl fmt::Display for StateDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.privilege {
+            None => f.write_str("Invalid"),
+            Some(p) => {
+                write!(f, "{}", match p {
+                    Privilege::Read => "Read",
+                    Privilege::Write => "Write",
+                    Privilege::Lock => "Lock",
+                })?;
+                if self.source {
+                    f.write_str(", Source")?;
+                }
+                // Clean/dirty status is part of the state name only where
+                // the protocol tracks it: at a source, or on sole-access
+                // states. A plain (non-source) Read copy carries none.
+                if self.source || p != Privilege::Read {
+                    f.write_str(if self.dirty { ", Dirty" } else { ", Clean" })?;
+                }
+                if self.waiter {
+                    f.write_str(", Waiter")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Implemented by each protocol's cache-line state enum.
+pub trait LineState:
+    Copy + Eq + Hash + fmt::Debug + fmt::Display + Send + Sync + 'static
+{
+    /// The invalid state.
+    fn invalid() -> Self;
+
+    /// Protocol-independent description of this state.
+    fn descriptor(&self) -> StateDescriptor;
+
+    /// All states of the protocol, for Table 1 and exhaustive transition
+    /// exploration (Figure 10).
+    fn all() -> &'static [Self];
+}
+
+/// Outcome of presenting a processor access to a line (entry point 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcAction<S> {
+    /// Satisfied locally; the line moves to `next`. This is the paper's
+    /// "zero time" path — e.g. locking a block already held with write
+    /// privilege (Section E.3).
+    Hit {
+        /// New line state.
+        next: S,
+    },
+    /// The cache must arbitrate for the bus and issue `op`. The processor
+    /// stalls until the transaction completes (write-through "forces the
+    /// processor to wait for access to the bus on every write").
+    Bus {
+        /// Transaction to issue.
+        op: BusOp,
+    },
+}
+
+/// Outcome of snooping another agent's transaction (entry point 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopOutcome<S> {
+    /// New state of the snooper's line.
+    pub next: S,
+    /// Contribution to the bus reply lines.
+    pub reply: SnoopReply,
+}
+
+impl<S: LineState> SnoopOutcome<S> {
+    /// A snoop that neither changes state nor drives any reply line.
+    pub fn ignore(state: S) -> Self {
+        Self { next: state, reply: SnoopReply::default() }
+    }
+}
+
+/// Outcome of completing the cache's own bus transaction (entry point 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompleteOutcome<S> {
+    /// The transaction succeeded; install `next`.
+    Installed {
+        /// New line state.
+        next: S,
+    },
+    /// The transaction was rejected (e.g. Synapse read to a block dirty
+    /// elsewhere); the cache must re-arbitrate and retry. Counted as bus
+    /// retry traffic.
+    Retry,
+    /// A lock fetch found the block locked elsewhere (Figure 7). The access
+    /// is *not* satisfied; the simulator arms the cache's busy-wait
+    /// register and the processor either spins or works while waiting.
+    LockDenied,
+    /// The block was installed in state `next`, but the processor's
+    /// operation is **not yet complete**: the cache must present it again
+    /// against the new state. This models protocols whose write misses take
+    /// two bus transactions — Goodman's write-once (fetch for read, then
+    /// the invalidating write-through) and Dragon/Firefly write misses to
+    /// shared blocks (fetch, then the word update).
+    InstalledRetryOp {
+        /// New line state after the first transaction.
+        next: S,
+    },
+}
+
+/// What a cache must do when evicting (purging) a line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictAction {
+    /// Drop the line silently.
+    Silent,
+    /// Write the block back to memory first (the source flushes dirty
+    /// blocks when purging, Section E.1).
+    Writeback,
+}
+
+/// A snooping cache-coherence protocol (Section A.2: full broadcast).
+///
+/// Implementations are stateless value objects: all per-line state lives in
+/// the cache as a `Self::State`, so a protocol can be shared freely across
+/// caches and threads.
+pub trait Protocol: Send + Sync + 'static {
+    /// The protocol's cache-line state type.
+    type State: LineState;
+
+    /// Human-readable protocol name, as used in Table 1 column headers.
+    fn name(&self) -> &'static str;
+
+    /// The protocol's Table 1 feature set.
+    fn features(&self) -> FeatureSet;
+
+    /// Entry point 1: the local processor presents an access `kind` to a
+    /// line currently in `state` (use [`LineState::invalid`] for a miss).
+    fn proc_access(&self, state: Self::State, kind: AccessKind) -> ProcAction<Self::State>;
+
+    /// Entry point 2: another agent's transaction `txn` is broadcast while
+    /// this cache holds a line for `txn.block` in `state` (valid *or*
+    /// invalid — invalid tag-matching lines snoop too, which
+    /// Rudolph-Segall's update-invalid-copies scheme relies on).
+    fn snoop(&self, state: Self::State, txn: &BusTxn) -> SnoopOutcome<Self::State>;
+
+    /// Entry point 3: this cache's own transaction finished. `kind` is the
+    /// processor access that triggered it and `summary` what the bus reply
+    /// lines showed.
+    fn complete(
+        &self,
+        state: Self::State,
+        kind: AccessKind,
+        txn: &BusTxn,
+        summary: &SnoopSummary,
+    ) -> CompleteOutcome<Self::State>;
+
+    /// What eviction of a line in `state` requires.
+    fn evict(&self, state: Self::State) -> EvictAction {
+        if state.descriptor().dirty {
+            EvictAction::Writeback
+        } else {
+            EvictAction::Silent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privilege_ordering() {
+        assert!(Privilege::Lock.covers(Privilege::Write));
+        assert!(Privilege::Lock.covers(Privilege::Read));
+        assert!(Privilege::Write.covers(Privilege::Read));
+        assert!(Privilege::Write.covers(Privilege::Write));
+        assert!(!Privilege::Read.covers(Privilege::Write));
+        assert!(!Privilege::Write.covers(Privilege::Lock));
+    }
+
+    #[test]
+    fn descriptor_predicates() {
+        let inv = StateDescriptor::INVALID;
+        assert!(!inv.is_valid() && !inv.can_read() && !inv.can_write() && !inv.is_locked());
+
+        let read =
+            StateDescriptor { privilege: Some(Privilege::Read), source: false, dirty: false, waiter: false };
+        assert!(read.can_read() && !read.can_write());
+
+        let write =
+            StateDescriptor { privilege: Some(Privilege::Write), source: true, dirty: true, waiter: false };
+        assert!(write.can_write() && !write.is_locked());
+
+        let lock =
+            StateDescriptor { privilege: Some(Privilege::Lock), source: true, dirty: true, waiter: true };
+        assert!(lock.can_write() && lock.is_locked());
+    }
+
+    #[test]
+    fn descriptor_display_matches_paper_vocabulary() {
+        let lock_waiter = StateDescriptor {
+            privilege: Some(Privilege::Lock),
+            source: true,
+            dirty: true,
+            waiter: true,
+        };
+        assert_eq!(lock_waiter.to_string(), "Lock, Source, Dirty, Waiter");
+        assert_eq!(StateDescriptor::INVALID.to_string(), "Invalid");
+        let rsc = StateDescriptor {
+            privilege: Some(Privilege::Read),
+            source: true,
+            dirty: false,
+            waiter: false,
+        };
+        assert_eq!(rsc.to_string(), "Read, Source, Clean");
+    }
+
+    #[test]
+    fn privilege_display() {
+        assert_eq!(Privilege::Read.to_string(), "read");
+        assert_eq!(Privilege::Write.to_string(), "write");
+        assert_eq!(Privilege::Lock.to_string(), "lock");
+    }
+}

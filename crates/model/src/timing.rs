@@ -1,0 +1,174 @@
+//! The cycle-cost model of the single broadcast bus.
+//!
+//! The paper argues about performance in terms of bus cycles: a one-cycle
+//! invalidation (Feature 4), block transfers of `n` bus-wide words, flushes
+//! concurrent (or not) with cache-to-cache transfers (Feature 7), and source
+//! arbitration delaying Illinois-style transfers (Feature 8). All of those
+//! knobs live here.
+//!
+//! Durations are deliberately simple linear combinations so experiments can
+//! sweep them; defaults approximate a mid-1980s single-bus multiprocessor
+//! (memory several times slower than a cache-to-cache transfer).
+
+use crate::error::ModelError;
+
+/// Bus and memory timing parameters, in bus cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingConfig {
+    /// Cycles to win arbitration when the bus is free.
+    pub arbitration: u64,
+    /// Address/command broadcast cycle.
+    pub address: u64,
+    /// Cycles per word moved on the bus.
+    pub word_transfer: u64,
+    /// Memory access latency before the first word is available.
+    pub memory_latency: u64,
+    /// Extra latency when potential read-privilege sources must arbitrate
+    /// before one provides the block (Feature 8, `ARB`).
+    pub source_arbitration: u64,
+    /// Cycles for a single-cycle signal (invalidate, unlock broadcast,
+    /// claim-no-fetch). The paper: "it can be limited to one bus cycle".
+    pub signal: u64,
+    /// Extra cycles when a flush to memory cannot proceed concurrently with
+    /// a cache-to-cache transfer (Feature 7 discussion). Zero means the bus
+    /// and memory support concurrent flushing.
+    pub nonconcurrent_flush_penalty: u64,
+}
+
+impl TimingConfig {
+    /// Validates that all latching parameters are nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ZeroTiming`] if `arbitration`, `address`,
+    /// `word_transfer`, `memory_latency` or `signal` is zero
+    /// (`source_arbitration` and the flush penalty may legitimately be 0).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.arbitration == 0 {
+            return Err(ModelError::ZeroTiming("arbitration"));
+        }
+        if self.address == 0 {
+            return Err(ModelError::ZeroTiming("address"));
+        }
+        if self.word_transfer == 0 {
+            return Err(ModelError::ZeroTiming("word_transfer"));
+        }
+        if self.memory_latency == 0 {
+            return Err(ModelError::ZeroTiming("memory_latency"));
+        }
+        if self.signal == 0 {
+            return Err(ModelError::ZeroTiming("signal"));
+        }
+        Ok(())
+    }
+
+    /// Duration of a block fetch of `words` words serviced by main memory.
+    pub fn fetch_from_memory(&self, words: usize) -> u64 {
+        self.arbitration + self.address + self.memory_latency + self.word_transfer * words as u64
+    }
+
+    /// Duration of a block fetch of `words` words serviced cache-to-cache.
+    /// `arbitrated_source` adds the Feature 8 `ARB` penalty.
+    pub fn fetch_from_cache(&self, words: usize, arbitrated_source: bool) -> u64 {
+        let arb = if arbitrated_source { self.source_arbitration } else { 0 };
+        self.arbitration + self.address + arb + self.word_transfer * words as u64
+    }
+
+    /// Duration of a one-cycle signal transaction.
+    pub fn signal_txn(&self) -> u64 {
+        self.arbitration + self.signal
+    }
+
+    /// Duration of a single-word write-through or update transaction.
+    /// `to_memory` adds the memory access.
+    pub fn word_txn(&self, to_memory: bool) -> u64 {
+        let mem = if to_memory { self.memory_latency } else { 0 };
+        self.arbitration + self.address + mem + self.word_transfer
+    }
+
+    /// Duration of a block flush (write-back) of `words` words to memory.
+    pub fn flush(&self, words: usize) -> u64 {
+        self.arbitration + self.address + self.memory_latency + self.word_transfer * words as u64
+    }
+
+    /// Duration of a memory-module atomic read-modify-write (Feature 6,
+    /// method 1): the module is held for a read plus a write.
+    pub fn memory_rmw(&self) -> u64 {
+        self.arbitration + self.address + 2 * self.memory_latency + 2 * self.word_transfer
+    }
+}
+
+impl Default for TimingConfig {
+    /// Memory ~4× slower to first word than a cache; everything else one
+    /// cycle; concurrent flushing supported.
+    fn default() -> Self {
+        TimingConfig {
+            arbitration: 1,
+            address: 1,
+            word_transfer: 1,
+            memory_latency: 4,
+            source_arbitration: 2,
+            signal: 1,
+            nonconcurrent_flush_penalty: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        TimingConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        for field in 0..5 {
+            let mut t = TimingConfig::default();
+            match field {
+                0 => t.arbitration = 0,
+                1 => t.address = 0,
+                2 => t.word_transfer = 0,
+                3 => t.memory_latency = 0,
+                _ => t.signal = 0,
+            }
+            assert!(t.validate().is_err(), "field {field} should be required nonzero");
+        }
+        // Optional penalties may be zero.
+        let t = TimingConfig { source_arbitration: 0, nonconcurrent_flush_penalty: 0, ..Default::default() };
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn memory_fetch_slower_than_cache_fetch() {
+        let t = TimingConfig::default();
+        assert!(t.fetch_from_memory(4) > t.fetch_from_cache(4, false));
+        // ...unless the cache fetch pays source arbitration and memory is fast.
+        let fast_mem = TimingConfig { memory_latency: 1, source_arbitration: 4, ..Default::default() };
+        assert!(fast_mem.fetch_from_memory(4) < fast_mem.fetch_from_cache(4, true));
+    }
+
+    #[test]
+    fn signal_is_cheapest_transaction() {
+        let t = TimingConfig::default();
+        assert!(t.signal_txn() < t.word_txn(false));
+        assert!(t.word_txn(false) < t.word_txn(true));
+        assert!(t.word_txn(true) <= t.fetch_from_memory(1));
+    }
+
+    #[test]
+    fn durations_scale_with_block_size() {
+        let t = TimingConfig::default();
+        assert_eq!(t.fetch_from_memory(8) - t.fetch_from_memory(4), 4 * t.word_transfer);
+        assert_eq!(t.flush(8) - t.flush(4), 4 * t.word_transfer);
+        assert_eq!(t.fetch_from_cache(8, false) - t.fetch_from_cache(4, false), 4);
+    }
+
+    #[test]
+    fn memory_rmw_holds_module_for_read_and_write() {
+        let t = TimingConfig::default();
+        assert_eq!(t.memory_rmw(), 1 + 1 + 2 * 4 + 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Event tracing, used to regenerate the paper's Figures 1–9 as textual
+//! protocol scenarios and to debug protocol implementations.
+//!
+//! States are recorded as display strings so one trace type serves every
+//! protocol.
+
+use crate::bus::{BusTxn, SnoopSummary};
+use crate::ops::ProcOp;
+use crate::types::{BlockAddr, CacheId, ProcId};
+use std::fmt;
+
+/// Why a line changed state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateCause {
+    /// The local processor accessed the line.
+    ProcAccess,
+    /// The cache snooped another agent's transaction.
+    Snoop,
+    /// The cache's own bus transaction completed.
+    Complete,
+    /// The line was evicted.
+    Evict,
+}
+
+impl fmt::Display for StateCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StateCause::ProcAccess => "proc",
+            StateCause::Snoop => "snoop",
+            StateCause::Complete => "complete",
+            StateCause::Evict => "evict",
+        })
+    }
+}
+
+/// One traced simulation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A processor presented an access to its cache.
+    ProcAccess {
+        /// Which processor.
+        proc: ProcId,
+        /// The operation.
+        op: ProcOp,
+        /// Whether it was satisfied without the bus.
+        hit: bool,
+    },
+    /// A bus transaction was granted and executed.
+    Bus {
+        /// The transaction.
+        txn: BusTxn,
+        /// Aggregated snoop lines.
+        summary: SnoopSummary,
+        /// Bus cycles consumed.
+        duration: u64,
+    },
+    /// A cache line changed state.
+    StateChange {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+        /// Previous state (display form).
+        from: String,
+        /// New state (display form).
+        to: String,
+        /// What caused the change.
+        cause: StateCause,
+    },
+    /// Main memory supplied a block.
+    MemoryProvides {
+        /// Which block.
+        block: BlockAddr,
+    },
+    /// A source cache supplied a block (cache-to-cache transfer).
+    CacheProvides {
+        /// The source cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+        /// The clean/dirty status it drove on the bus.
+        dirty: bool,
+    },
+    /// A block was written back to memory.
+    Flush {
+        /// Which cache flushed.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+    },
+    /// A lock was acquired.
+    LockAcquired {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+        /// True when no bus transaction was needed (zero-time lock).
+        zero_time: bool,
+    },
+    /// A lock fetch was denied; the requester begins busy waiting.
+    LockDenied {
+        /// The requesting cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+    },
+    /// A lock was released.
+    LockReleased {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+        /// Whether an unlock broadcast was required (waiter recorded).
+        broadcast: bool,
+    },
+    /// A busy-wait register was armed.
+    WaiterArmed {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block it watches.
+        block: BlockAddr,
+    },
+    /// A busy-wait register observed the unlock and will re-arbitrate.
+    WaiterWoken {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+    },
+    /// A line was evicted.
+    Eviction {
+        /// Which cache.
+        cache: CacheId,
+        /// Which block.
+        block: BlockAddr,
+        /// Whether a write-back was required.
+        writeback: bool,
+    },
+    /// Free-form annotation (used by scenario drivers).
+    Note(String),
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::ProcAccess { proc, op, hit } => {
+                write!(f, "{proc} {op} [{}]", if *hit { "hit" } else { "miss" })
+            }
+            Event::Bus { txn, summary, duration } => {
+                write!(f, "bus: {txn} ({duration}cy)")?;
+                if summary.any_hit {
+                    write!(f, " hit-line({})", summary.sharers)?;
+                }
+                if let Some(d) = summary.source_dirty {
+                    write!(f, " status={}", if d { "dirty" } else { "clean" })?;
+                }
+                if summary.locked {
+                    write!(f, " LOCKED")?;
+                }
+                if summary.retry {
+                    write!(f, " RETRY")?;
+                }
+                Ok(())
+            }
+            Event::StateChange { cache, block, from, to, cause } => {
+                write!(f, "{cache} {block}: {from} -> {to} ({cause})")
+            }
+            Event::MemoryProvides { block } => write!(f, "memory provides {block}"),
+            Event::CacheProvides { cache, block, dirty } => {
+                write!(f, "{cache} provides {block} ({})", if *dirty { "dirty" } else { "clean" })
+            }
+            Event::Flush { cache, block } => write!(f, "{cache} flushes {block}"),
+            Event::LockAcquired { cache, block, zero_time } => {
+                write!(f, "{cache} locks {block}{}", if *zero_time { " (zero-time)" } else { "" })
+            }
+            Event::LockDenied { cache, block } => write!(f, "{cache} denied lock on {block}"),
+            Event::LockReleased { cache, block, broadcast } => write!(
+                f,
+                "{cache} unlocks {block}{}",
+                if *broadcast { " (broadcast)" } else { " (zero-time)" }
+            ),
+            Event::WaiterArmed { cache, block } => {
+                write!(f, "{cache} busy-wait register armed on {block}")
+            }
+            Event::WaiterWoken { cache, block } => {
+                write!(f, "{cache} busy-wait register woken for {block}")
+            }
+            Event::Eviction { cache, block, writeback } => {
+                write!(f, "{cache} evicts {block}{}", if *writeback { " (writeback)" } else { "" })
+            }
+            Event::Note(s) => write!(f, "-- {s}"),
+        }
+    }
+}
+
+/// An append-only event log with cycle timestamps. Disabled traces cost one
+/// branch per event.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<(u64, Event)>,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn enabled() -> Self {
+        Trace { enabled: true, events: Vec::new() }
+    }
+
+    /// A disabled trace that drops every event.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Is the trace recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` at `cycle` (no-op when disabled).
+    pub fn push(&mut self, cycle: u64, event: Event) {
+        if self.enabled {
+            self.events.push((cycle, event));
+        }
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[(u64, Event)] {
+        &self.events
+    }
+
+    /// Iterates events matching `pred`.
+    pub fn filter<'a, F>(&'a self, pred: F) -> impl Iterator<Item = &'a (u64, Event)>
+    where
+        F: Fn(&Event) -> bool + 'a,
+    {
+        self.events.iter().filter(move |(_, e)| pred(e))
+    }
+
+    /// Renders the whole trace, one event per line, as used by the figure
+    /// regeneration binary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (cycle, e) in &self.events {
+            let _ = writeln!(out, "[{cycle:>6}] {e}");
+        }
+        out
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusOp;
+    use crate::protocol::Privilege;
+    use crate::types::AgentId;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(1, Event::Note("x".into()));
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.push(1, Event::Note("a".into()));
+        t.push(5, Event::MemoryProvides { block: BlockAddr(2) });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].0, 1);
+        assert_eq!(t.events()[1].0, 5);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn filter_selects_events() {
+        let mut t = Trace::enabled();
+        t.push(0, Event::Note("a".into()));
+        t.push(1, Event::Flush { cache: CacheId(0), block: BlockAddr(1) });
+        t.push(2, Event::Note("b".into()));
+        let notes: Vec<_> = t.filter(|e| matches!(e, Event::Note(_))).collect();
+        assert_eq!(notes.len(), 2);
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let mut t = Trace::enabled();
+        t.push(
+            3,
+            Event::Bus {
+                txn: BusTxn {
+                    op: BusOp::Fetch { privilege: Privilege::Read, need_data: true },
+                    block: BlockAddr(1),
+                    requester: AgentId::Cache(CacheId(0)),
+                    high_priority: false,
+                },
+                summary: SnoopSummary { any_hit: true, sharers: 2, ..Default::default() },
+                duration: 7,
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("fetch-read"));
+        assert!(s.contains("hit-line(2)"));
+        assert!(s.contains("[     3]"));
+    }
+
+    #[test]
+    fn event_display_variants() {
+        let e = Event::LockAcquired { cache: CacheId(1), block: BlockAddr(2), zero_time: true };
+        assert_eq!(e.to_string(), "C1 locks B0x2 (zero-time)");
+        let e = Event::LockReleased { cache: CacheId(1), block: BlockAddr(2), broadcast: true };
+        assert_eq!(e.to_string(), "C1 unlocks B0x2 (broadcast)");
+        let e = Event::StateChange {
+            cache: CacheId(0),
+            block: BlockAddr(3),
+            from: "Invalid".into(),
+            to: "Read".into(),
+            cause: StateCause::Complete,
+        };
+        assert_eq!(e.to_string(), "C0 B0x3: Invalid -> Read (complete)");
+    }
+}

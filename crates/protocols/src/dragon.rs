@@ -1,0 +1,366 @@
+//! The Xerox **Dragon** protocol (McCreight 1984) — Section D.1; Table 2,
+//! "Write-In/Write-Through Schemes".
+//!
+//! Write-through **to other caches** for actively shared data, write-in for
+//! unshared data. A block is *shared* if it currently resides in more than
+//! one cache, determined dynamically from the bus hit line. A write to a
+//! shared block broadcasts a one-word update to the other caches (but not
+//! to memory — the writer becomes *shared-modified* and owns the flush
+//! responsibility); a write to an exclusive block is purely local.
+
+use mcs_model::{
+    AccessKind, BusOp, BusTxn, CompleteOutcome, DistributedState, EvictAction, FeatureSet,
+    FlushPolicy, LineState, Privilege, ProcAction, Protocol, SharingDetermination, SnoopOutcome,
+    SnoopReply, SnoopSummary, SourcePolicy, StateDescriptor, WritePolicy,
+};
+use std::fmt;
+
+/// Cache-line states of the Dragon protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DragonState {
+    /// Meaningless.
+    Invalid,
+    /// Exclusive clean: sole copy, memory current.
+    Exclusive,
+    /// Shared clean: other copies may exist; writes broadcast updates.
+    SharedClean,
+    /// Shared modified: other copies may exist; this cache owns the dirty
+    /// data (supplies it and flushes on eviction).
+    SharedModified,
+    /// Dirty: modified sole copy.
+    Dirty,
+}
+
+impl fmt::Display for DragonState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DragonState::Invalid => "I",
+            DragonState::Exclusive => "E",
+            DragonState::SharedClean => "Sc",
+            DragonState::SharedModified => "Sm",
+            DragonState::Dirty => "D",
+        })
+    }
+}
+
+impl LineState for DragonState {
+    fn invalid() -> Self {
+        DragonState::Invalid
+    }
+
+    fn descriptor(&self) -> StateDescriptor {
+        match self {
+            DragonState::Invalid => StateDescriptor::INVALID,
+            DragonState::Exclusive => StateDescriptor {
+                privilege: Some(Privilege::Write),
+                source: false,
+                dirty: false,
+                waiter: false,
+            },
+            DragonState::SharedClean => StateDescriptor {
+                privilege: Some(Privilege::Read),
+                source: false,
+                dirty: false,
+                waiter: false,
+            },
+            DragonState::SharedModified => StateDescriptor {
+                privilege: Some(Privilege::Read),
+                source: true,
+                dirty: true,
+                waiter: false,
+            },
+            DragonState::Dirty => StateDescriptor {
+                privilege: Some(Privilege::Write),
+                source: true,
+                dirty: true,
+                waiter: false,
+            },
+        }
+    }
+
+    fn all() -> &'static [Self] {
+        &[
+            DragonState::Invalid,
+            DragonState::Exclusive,
+            DragonState::SharedClean,
+            DragonState::SharedModified,
+            DragonState::Dirty,
+        ]
+    }
+}
+
+/// The Dragon update protocol.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Dragon;
+
+use DragonState as S;
+
+impl Protocol for Dragon {
+    type State = DragonState;
+
+    fn name(&self) -> &'static str {
+        "Dragon (McCreight 1984)"
+    }
+
+    fn features(&self) -> FeatureSet {
+        let mut f = FeatureSet::classic_write_through();
+        f.cache_to_cache = true;
+        f.c2c_serves_reads = true;
+        f.distributed = DistributedState::RWDS;
+        f.bus_invalidate_signal = false; // updates, not invalidations
+        f.read_for_write = Some(SharingDetermination::Dynamic);
+        f.flush_on_transfer = FlushPolicy::NoFlush { transfer_status: true };
+        f.source_policy = SourcePolicy::MemoryOnLoss;
+        f.write_policy = WritePolicy::Hybrid;
+        f
+    }
+
+    fn proc_access(&self, state: S, kind: AccessKind) -> ProcAction<S> {
+        use AccessKind::*;
+        match kind {
+            Read | ReadForWrite | LockRead => match state {
+                S::Invalid => ProcAction::Bus {
+                    op: BusOp::Fetch { privilege: Privilege::Read, need_data: true },
+                },
+                s => ProcAction::Hit { next: s },
+            },
+            WriteNoFetch => ProcAction::Bus { op: BusOp::ClaimNoFetch },
+            // Write / UnlockWrite / Rmw: update path for shared lines.
+            _ => match state {
+                S::Exclusive | S::Dirty => ProcAction::Hit { next: S::Dirty },
+                S::SharedClean | S::SharedModified => {
+                    ProcAction::Bus { op: BusOp::UpdateWord { to_memory: false } }
+                }
+                S::Invalid => ProcAction::Bus {
+                    op: BusOp::Fetch { privilege: Privilege::Read, need_data: true },
+                },
+            },
+        }
+    }
+
+    fn snoop(&self, state: S, txn: &BusTxn) -> SnoopOutcome<S> {
+        if state == S::Invalid {
+            return SnoopOutcome::ignore(state);
+        }
+        match txn.op {
+            BusOp::Fetch { .. } | BusOp::IoOutput { paging: false } => match state {
+                // The owner supplies dirty data; everyone downgrades to
+                // shared.
+                S::Dirty | S::SharedModified => SnoopOutcome {
+                    next: S::SharedModified,
+                    reply: SnoopReply {
+                        hit: true,
+                        source: true,
+                        dirty_status: Some(true),
+                        supplies_data: true,
+                        inhibit_memory: true,
+                        ..Default::default()
+                    },
+                },
+                _ => SnoopOutcome {
+                    next: S::SharedClean,
+                    reply: SnoopReply { hit: true, ..Default::default() },
+                },
+            },
+            // A word update: our copy is refreshed in place by the engine;
+            // the writer becomes the modified owner, we drop to clean.
+            BusOp::UpdateWord { .. } => SnoopOutcome {
+                next: S::SharedClean,
+                reply: SnoopReply { hit: true, ..Default::default() },
+            },
+            BusOp::ClaimNoFetch | BusOp::IoInput | BusOp::MemoryRmw => SnoopOutcome {
+                next: S::Invalid,
+                reply: SnoopReply { hit: true, ..Default::default() },
+            },
+            BusOp::IoOutput { paging: true } => match state {
+                S::Dirty | S::SharedModified => SnoopOutcome {
+                    next: S::Invalid,
+                    reply: SnoopReply {
+                        hit: true,
+                        supplies_data: true,
+                        inhibit_memory: true,
+                        flushes: true,
+                        ..Default::default()
+                    },
+                },
+                _ => SnoopOutcome {
+                    next: S::Invalid,
+                    reply: SnoopReply { hit: true, ..Default::default() },
+                },
+            },
+            _ => SnoopOutcome::ignore(state),
+        }
+    }
+
+    fn complete(
+        &self,
+        state: S,
+        kind: AccessKind,
+        txn: &BusTxn,
+        summary: &SnoopSummary,
+    ) -> CompleteOutcome<S> {
+        match txn.op {
+            BusOp::Fetch { .. } => {
+                let landed = if summary.any_hit { S::SharedClean } else { S::Exclusive };
+                if kind.is_write() {
+                    // Write miss: fetch first, then re-present the write
+                    // (which becomes an update if shared, local if not).
+                    CompleteOutcome::InstalledRetryOp { next: landed }
+                } else {
+                    CompleteOutcome::Installed { next: landed }
+                }
+            }
+            BusOp::UpdateWord { .. } => {
+                // Still shared? The hit line tells us.
+                let next = if summary.any_hit { S::SharedModified } else { S::Dirty };
+                CompleteOutcome::Installed { next }
+            }
+            BusOp::ClaimNoFetch => CompleteOutcome::Installed { next: S::Dirty },
+            _ => CompleteOutcome::Installed { next: state },
+        }
+    }
+
+    fn evict(&self, state: S) -> EvictAction {
+        match state {
+            S::Dirty | S::SharedModified => EvictAction::Writeback,
+            _ => EvictAction::Silent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_model::{Addr, BlockAddr, CacheId, ProcId, ProcOp, Word};
+    use mcs_sim::{System, SystemConfig};
+
+    fn sys(n: usize) -> System<Dragon> {
+        System::new(Dragon, SystemConfig::new(n)).unwrap()
+    }
+
+    #[test]
+    fn shared_write_updates_other_copies_in_place() {
+        let mut s = sys(2);
+        let (script, stats) = s
+            .run_script(
+                vec![
+                    (ProcId(0), ProcOp::read(Addr(0))),
+                    (ProcId(1), ProcOp::read(Addr(0))),
+                    (ProcId(0), ProcOp::write(Addr(0), Word(42))),
+                    (ProcId(1), ProcOp::read(Addr(0))), // still a HIT: copy was updated
+                ],
+                10_000,
+            )
+            .unwrap();
+        assert_eq!(script.results()[3].2.value, Some(Word(42)));
+        assert!(script.results()[3].2.hit, "updated copy must still hit");
+        assert_eq!(stats.bus.invalidations, 0);
+        assert_eq!(stats.bus.updates, 1);
+        assert_eq!(s.state_of(CacheId(0), BlockAddr(0)), S::SharedModified);
+        assert_eq!(s.state_of(CacheId(1), BlockAddr(0)), S::SharedClean);
+    }
+
+    #[test]
+    fn unshared_write_is_local() {
+        let mut s = sys(2);
+        let (_, stats) = s
+            .run_script(
+                vec![
+                    (ProcId(0), ProcOp::read(Addr(4))), // alone -> Exclusive
+                    (ProcId(0), ProcOp::write(Addr(4), Word(1))),
+                    (ProcId(0), ProcOp::write(Addr(4), Word(2))),
+                ],
+                10_000,
+            )
+            .unwrap();
+        assert_eq!(stats.bus.count("update-word"), 0);
+        assert_eq!(s.state_of(CacheId(0), BlockAddr(1)), S::Dirty);
+    }
+
+    #[test]
+    fn every_shared_write_takes_the_bus() {
+        // The cost Section D.2 analyses: k writes to a shared block = k
+        // bus updates.
+        let mut s = sys(2);
+        let mut script = vec![
+            (ProcId(0), ProcOp::read(Addr(0))),
+            (ProcId(1), ProcOp::read(Addr(0))),
+        ];
+        for i in 0..10 {
+            script.push((ProcId(0), ProcOp::write(Addr(0), Word(i))));
+        }
+        let (_, stats) = s.run_script(script, 100_000).unwrap();
+        assert_eq!(stats.bus.count("update-word"), 10);
+    }
+
+    #[test]
+    fn write_miss_to_shared_block_fetches_then_updates() {
+        let mut s = sys(3);
+        let (_, stats) = s
+            .run_script(
+                vec![
+                    (ProcId(0), ProcOp::read(Addr(8))),
+                    (ProcId(1), ProcOp::read(Addr(8))),
+                    (ProcId(2), ProcOp::write(Addr(8), Word(5))),
+                ],
+                10_000,
+            )
+            .unwrap();
+        // Fetch + update, no invalidations.
+        assert_eq!(stats.bus.count("update-word"), 1);
+        assert_eq!(stats.bus.invalidations, 0);
+        assert_eq!(s.state_of(CacheId(2), BlockAddr(2)), S::SharedModified);
+        // Sharers see the new value without refetching.
+        let (script, _) = s.run_script(vec![(ProcId(0), ProcOp::read(Addr(8)))], 10_000).unwrap();
+        assert!(script.results()[0].2.hit);
+        assert_eq!(script.results()[0].2.value, Some(Word(5)));
+    }
+
+    #[test]
+    fn owner_supplies_dirty_data_without_flush() {
+        let mut s = sys(2);
+        let (script, stats) = s
+            .run_script(
+                vec![
+                    (ProcId(0), ProcOp::read(Addr(12))),
+                    (ProcId(0), ProcOp::write(Addr(12), Word(9))), // Dirty
+                    (ProcId(1), ProcOp::read(Addr(12))),
+                ],
+                10_000,
+            )
+            .unwrap();
+        assert_eq!(script.results()[2].2.value, Some(Word(9)));
+        assert_eq!(stats.sources.from_cache, 1);
+        assert_eq!(stats.sources.flushes, 0);
+        assert_eq!(s.state_of(CacheId(0), BlockAddr(3)), S::SharedModified);
+    }
+
+    #[test]
+    fn update_writer_regains_exclusivity_when_alone() {
+        use mcs_cache::CacheConfig;
+        // C1's copy is evicted; C0's next shared write sees no hit and
+        // becomes Dirty (write-in again) — the dynamic part of the scheme.
+        let config =
+            SystemConfig::new(2).with_cache(CacheConfig::fully_associative(1, 4).unwrap());
+        let mut s = System::new(Dragon, config).unwrap();
+        s.run_script(
+            vec![
+                (ProcId(0), ProcOp::read(Addr(0))),
+                (ProcId(1), ProcOp::read(Addr(0))),
+                (ProcId(1), ProcOp::read(Addr(4))), // evicts C1's block 0
+                (ProcId(0), ProcOp::write(Addr(0), Word(1))), // update sees no hit
+            ],
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(s.state_of(CacheId(0), BlockAddr(0)), S::Dirty);
+    }
+
+    #[test]
+    fn features_are_hybrid_update() {
+        let f = Dragon.features();
+        assert_eq!(f.write_policy, WritePolicy::Hybrid);
+        assert!(!f.bus_invalidate_signal);
+        assert_eq!(f.read_for_write, Some(SharingDetermination::Dynamic));
+    }
+}

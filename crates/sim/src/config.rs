@@ -1,0 +1,133 @@
+//! System-level configuration.
+
+use mcs_cache::CacheConfig;
+use mcs_model::{DirectoryDuality, TimingConfig};
+
+/// Configuration of one simulated full-broadcast system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    processors: usize,
+    cache: CacheConfig,
+    timing: TimingConfig,
+    directory: Option<DirectoryDuality>,
+    trace: bool,
+    oracle: bool,
+    retry_bound: u32,
+}
+
+impl SystemConfig {
+    /// A system of `processors` processors with default cache geometry and
+    /// timing, the oracle enabled, and tracing disabled.
+    pub fn new(processors: usize) -> Self {
+        SystemConfig {
+            processors,
+            cache: CacheConfig::default(),
+            timing: TimingConfig::default(),
+            directory: None,
+            trace: false,
+            oracle: true,
+            retry_bound: 10_000,
+        }
+    }
+
+    /// Sets the per-processor cache geometry.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Sets the bus/memory timing.
+    pub fn with_timing(mut self, timing: TimingConfig) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Overrides the directory organization (defaults to the protocol's own
+    /// Table 1 feature).
+    pub fn with_directory(mut self, duality: DirectoryDuality) -> Self {
+        self.directory = Some(duality);
+        self
+    }
+
+    /// Enables or disables event tracing.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Enables or disables the coherence/lock oracles (on by default; turn
+    /// off only for very long benchmark runs).
+    pub fn with_oracle(mut self, oracle: bool) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Sets the per-operation retry bound used for livelock detection.
+    pub fn with_retry_bound(mut self, bound: u32) -> Self {
+        self.retry_bound = bound;
+        self
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Cache geometry.
+    pub fn cache(&self) -> &CacheConfig {
+        &self.cache
+    }
+
+    /// Bus/memory timing.
+    pub fn timing(&self) -> &TimingConfig {
+        &self.timing
+    }
+
+    /// Directory override, if any.
+    pub fn directory(&self) -> Option<DirectoryDuality> {
+        self.directory
+    }
+
+    /// Whether tracing is enabled.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
+    /// Whether the oracles are enabled.
+    pub fn oracle(&self) -> bool {
+        self.oracle
+    }
+
+    /// Livelock retry bound.
+    pub fn retry_bound(&self) -> u32 {
+        self.retry_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let c = SystemConfig::new(8)
+            .with_trace(true)
+            .with_oracle(false)
+            .with_retry_bound(5)
+            .with_directory(DirectoryDuality::NonIdenticalDual);
+        assert_eq!(c.processors(), 8);
+        assert!(c.trace());
+        assert!(!c.oracle());
+        assert_eq!(c.retry_bound(), 5);
+        assert_eq!(c.directory(), Some(DirectoryDuality::NonIdenticalDual));
+    }
+
+    #[test]
+    fn defaults() {
+        let c = SystemConfig::new(2);
+        assert!(!c.trace());
+        assert!(c.oracle());
+        assert!(c.directory().is_none());
+        assert_eq!(c.cache().capacity_blocks(), 64);
+    }
+}

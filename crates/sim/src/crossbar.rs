@@ -1,0 +1,226 @@
+//! The Aquarius *lower* switch-memory system (Figure 11): a crossbar
+//! connecting processors to interleaved memory modules.
+//!
+//! The paper keeps all hard atoms in the single-bus *upper* system, so the
+//! crossbar system "will not need to serialize accesses to a block, but
+//! will only need to provide the latest version of each block". We model it
+//! as write-through private caches over interleaved modules with per-module
+//! queueing: writes always reach the module (so memory always has the
+//! latest version), reads hit the cache or queue at the module.
+//!
+//! The model is intentionally coarser than the bus engine — its role in the
+//! reproduction is to carry the instruction / non-synchronization traffic
+//! of the Aquarius example so the sync-bus fraction can be measured.
+
+use mcs_model::{Addr, BlockAddr, BlockGeometry, ModelError};
+
+/// Crossbar system configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossbarConfig {
+    /// Number of memory modules (interleaved by block address).
+    pub modules: usize,
+    /// Module service time per request, in cycles.
+    pub module_latency: u64,
+    /// Per-processor cache capacity in blocks (direct-mapped).
+    pub cache_blocks: usize,
+    /// Words per block.
+    pub words_per_block: usize,
+}
+
+impl Default for CrossbarConfig {
+    fn default() -> Self {
+        CrossbarConfig { modules: 8, module_latency: 4, cache_blocks: 256, words_per_block: 4 }
+    }
+}
+
+/// Statistics for the crossbar system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossbarStats {
+    /// References issued.
+    pub refs: u64,
+    /// Cache hits (reads satisfied locally).
+    pub hits: u64,
+    /// Requests serviced by modules.
+    pub module_requests: u64,
+    /// Cycles spent queued behind busy modules.
+    pub conflict_wait_cycles: u64,
+    /// Total cycles of module busy time.
+    pub module_busy_cycles: u64,
+}
+
+impl CrossbarStats {
+    /// Hit rate over all references.
+    pub fn hit_rate(&self) -> f64 {
+        if self.refs == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.refs as f64
+        }
+    }
+}
+
+/// The crossbar interconnect with interleaved memory modules and
+/// direct-mapped write-through caches.
+///
+/// ```
+/// use mcs_sim::{Crossbar, CrossbarConfig};
+/// use mcs_model::Addr;
+///
+/// let mut xbar = Crossbar::new(2, CrossbarConfig::default())?;
+/// let miss = xbar.access(0, Addr(0), false, 0); // read miss: module latency
+/// let hit = xbar.access(0, Addr(1), false, 10); // same block: cache hit
+/// assert!(hit < miss);
+/// # Ok::<(), mcs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    config: CrossbarConfig,
+    geometry: BlockGeometry,
+    module_free_at: Vec<u64>,
+    caches: Vec<Vec<Option<BlockAddr>>>,
+    stats: CrossbarStats,
+}
+
+impl Crossbar {
+    /// Builds a crossbar system for `processors` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the block size is invalid or there are no
+    /// modules.
+    pub fn new(processors: usize, config: CrossbarConfig) -> Result<Self, ModelError> {
+        let geometry = BlockGeometry::new(config.words_per_block)?;
+        if config.modules == 0 {
+            return Err(ModelError::ZeroTiming("modules"));
+        }
+        Ok(Crossbar {
+            geometry,
+            module_free_at: vec![0; config.modules],
+            caches: vec![vec![None; config.cache_blocks.max(1)]; processors],
+            stats: CrossbarStats::default(),
+            config,
+        })
+    }
+
+    fn module_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) % self.config.modules
+    }
+
+    fn frame_of(&self, block: BlockAddr) -> usize {
+        (block.0 as usize) % self.config.cache_blocks.max(1)
+    }
+
+    /// Issues an access from `proc` at time `now`; returns its latency in
+    /// cycles. Reads may hit the local cache (1 cycle); writes and read
+    /// misses queue at the block's module.
+    pub fn access(&mut self, proc: usize, addr: Addr, write: bool, now: u64) -> u64 {
+        self.stats.refs += 1;
+        let block = self.geometry.block_of(addr);
+        let frame = self.frame_of(block);
+        let cached = self.caches[proc][frame] == Some(block);
+
+        if !write && cached {
+            self.stats.hits += 1;
+            return 1;
+        }
+
+        // Module request (write-through, or read miss fill).
+        let m = self.module_of(block);
+        let start = self.module_free_at[m].max(now);
+        let wait = start - now;
+        self.stats.conflict_wait_cycles += wait;
+        self.stats.module_requests += 1;
+        self.stats.module_busy_cycles += self.config.module_latency;
+        self.module_free_at[m] = start + self.config.module_latency;
+
+        if !write {
+            self.caches[proc][frame] = Some(block);
+        }
+        wait + self.config.module_latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CrossbarStats {
+        &self.stats
+    }
+
+    /// Mean module utilization over `total_cycles` of simulated time.
+    pub fn module_utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.stats.module_busy_cycles as f64
+            / (total_cycles as f64 * self.config.modules as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xbar(procs: usize) -> Crossbar {
+        Crossbar::new(procs, CrossbarConfig { modules: 2, module_latency: 4, cache_blocks: 4, words_per_block: 4 })
+            .unwrap()
+    }
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut x = xbar(1);
+        let lat = x.access(0, Addr(0), false, 0);
+        assert_eq!(lat, 4); // module latency, no queue
+        let lat = x.access(0, Addr(1), false, 10);
+        assert_eq!(lat, 1); // same block now cached
+        assert_eq!(x.stats().hits, 1);
+        assert_eq!(x.stats().refs, 2);
+    }
+
+    #[test]
+    fn writes_always_go_to_module() {
+        let mut x = xbar(1);
+        x.access(0, Addr(0), false, 0);
+        let lat = x.access(0, Addr(0), true, 10);
+        assert_eq!(lat, 4);
+        assert_eq!(x.stats().module_requests, 2);
+    }
+
+    #[test]
+    fn module_conflicts_queue() {
+        let mut x = xbar(2);
+        // Both procs hit module 0 (block 0 and block 2 both map to module 0).
+        let l0 = x.access(0, Addr(0), true, 0);
+        let l1 = x.access(1, Addr(8), true, 0); // block 2 -> module 0
+        assert_eq!(l0, 4);
+        assert_eq!(l1, 8); // waits 4 then serviced
+        assert_eq!(x.stats().conflict_wait_cycles, 4);
+    }
+
+    #[test]
+    fn different_modules_run_concurrently() {
+        let mut x = xbar(2);
+        let l0 = x.access(0, Addr(0), true, 0); // module 0
+        let l1 = x.access(1, Addr(4), true, 0); // block 1 -> module 1
+        assert_eq!(l0, 4);
+        assert_eq!(l1, 4);
+        assert_eq!(x.stats().conflict_wait_cycles, 0);
+    }
+
+    #[test]
+    fn utilization_and_validation() {
+        let mut x = xbar(1);
+        x.access(0, Addr(0), true, 0);
+        assert!(x.module_utilization(8) > 0.0);
+        assert_eq!(x.module_utilization(0), 0.0);
+        assert!(Crossbar::new(1, CrossbarConfig { modules: 0, ..Default::default() }).is_err());
+        assert!(Crossbar::new(1, CrossbarConfig { words_per_block: 3, ..Default::default() }).is_err());
+        assert_eq!(CrossbarStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let mut x = xbar(1);
+        x.access(0, Addr(0), false, 0); // block 0 -> frame 0
+        x.access(0, Addr(16), false, 10); // block 4 -> frame 0, evicts block 0
+        let lat = x.access(0, Addr(0), false, 20);
+        assert!(lat > 1, "block 0 must have been evicted");
+    }
+}

@@ -1,0 +1,149 @@
+//! Main memory: a lazily-populated block store.
+//!
+//! Under full broadcast, main memory is deliberately simple — it keeps no
+//! cache state and manages no synchronization (Section A.2); it just
+//! services block reads, block writes (flushes) and word writes, and can be
+//! inhibited by a source cache.
+
+use mcs_model::{Addr, BlockAddr, BlockGeometry, Word};
+use std::collections::HashMap;
+
+/// Main memory, holding blocks of words. Unwritten blocks read as zero.
+#[derive(Debug, Clone)]
+pub struct MainMemory {
+    geometry: BlockGeometry,
+    blocks: HashMap<BlockAddr, Box<[Word]>>,
+    reads: u64,
+    writes: u64,
+}
+
+impl MainMemory {
+    /// An empty memory with the given geometry.
+    pub fn new(geometry: BlockGeometry) -> Self {
+        MainMemory { geometry, blocks: HashMap::new(), reads: 0, writes: 0 }
+    }
+
+    fn zero_block(&self) -> Box<[Word]> {
+        vec![Word(0); self.geometry.words_per_block()].into_boxed_slice()
+    }
+
+    /// Reads a whole block.
+    pub fn read_block(&mut self, block: BlockAddr) -> Box<[Word]> {
+        self.reads += 1;
+        match self.blocks.get(&block) {
+            Some(data) => data.clone(),
+            None => self.zero_block(),
+        }
+    }
+
+    /// Writes a whole block (a flush).
+    pub fn write_block(&mut self, block: BlockAddr, data: &[Word]) {
+        debug_assert_eq!(data.len(), self.geometry.words_per_block());
+        self.writes += 1;
+        self.blocks.insert(block, data.into());
+    }
+
+    /// Reads one word.
+    pub fn read_word(&mut self, addr: Addr) -> Word {
+        let block = self.geometry.block_of(addr);
+        let offset = self.geometry.offset_of(addr);
+        self.reads += 1;
+        self.blocks.get(&block).map(|d| d[offset]).unwrap_or(Word(0))
+    }
+
+    /// Writes one word (a write-through or update).
+    pub fn write_word(&mut self, addr: Addr, value: Word) {
+        let block = self.geometry.block_of(addr);
+        let offset = self.geometry.offset_of(addr);
+        self.writes += 1;
+        let entry = self.blocks.entry(block).or_insert_with(|| {
+            vec![Word(0); 0].into_boxed_slice() // replaced below; placeholder keeps borrowck simple
+        });
+        if entry.is_empty() {
+            *entry = vec![Word(0); self.geometry.words_per_block()].into_boxed_slice();
+        }
+        entry[offset] = value;
+    }
+
+    /// Atomic read-modify-write of one word at the memory module
+    /// (Feature 6, method 1). Returns the old value.
+    pub fn rmw_word(&mut self, addr: Addr, new: Word) -> Word {
+        let old = self.read_word(addr);
+        self.write_word(addr, new);
+        old
+    }
+
+    /// Number of block/word read operations serviced.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of block/word write operations serviced.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// The geometry this memory uses.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> MainMemory {
+        MainMemory::new(BlockGeometry::new(4).unwrap())
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut m = mem();
+        assert_eq!(m.read_word(Addr(100)), Word(0));
+        assert!(m.read_block(BlockAddr(9)).iter().all(|w| *w == Word(0)));
+    }
+
+    #[test]
+    fn word_write_read_roundtrip() {
+        let mut m = mem();
+        m.write_word(Addr(5), Word(42));
+        assert_eq!(m.read_word(Addr(5)), Word(42));
+        assert_eq!(m.read_word(Addr(4)), Word(0));
+        let block = m.read_block(BlockAddr(1));
+        assert_eq!(block[1], Word(42));
+    }
+
+    #[test]
+    fn block_write_overwrites() {
+        let mut m = mem();
+        m.write_word(Addr(0), Word(1));
+        m.write_block(BlockAddr(0), &[Word(9), Word(8), Word(7), Word(6)]);
+        assert_eq!(m.read_word(Addr(0)), Word(9));
+        assert_eq!(m.read_word(Addr(3)), Word(6));
+    }
+
+    #[test]
+    fn rmw_returns_old_value() {
+        let mut m = mem();
+        m.write_word(Addr(2), Word(5));
+        assert_eq!(m.rmw_word(Addr(2), Word(1)), Word(5));
+        assert_eq!(m.read_word(Addr(2)), Word(1));
+        // Test-and-set semantics on a fresh word: old is 0.
+        assert_eq!(m.rmw_word(Addr(50), Word(1)), Word(0));
+    }
+
+    #[test]
+    fn counts_operations() {
+        let mut m = mem();
+        m.read_word(Addr(0));
+        m.write_word(Addr(0), Word(1));
+        m.read_block(BlockAddr(0));
+        m.write_block(BlockAddr(0), &[Word(0); 4]);
+        assert_eq!(m.reads(), 2);
+        // rmw counts one read and one write.
+        m.rmw_word(Addr(1), Word(2));
+        assert_eq!(m.reads(), 3);
+        assert_eq!(m.writes(), 3);
+    }
+}

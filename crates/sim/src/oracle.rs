@@ -1,0 +1,208 @@
+//! Runtime coherence and synchronization oracles.
+//!
+//! Because the single bus serializes all global actions, the simulator can
+//! maintain a *golden* serialized memory image and check, at every commit:
+//!
+//! * reads observe the latest serialized write (Section C.1, "provide the
+//!   latest version of the data");
+//! * at most one cache holds sole-access privilege per block, at most one
+//!   holds source status ("serialize conflicting accesses");
+//! * lock acquisition/release is mutually exclusive and well-bracketed.
+
+use crate::error::OracleViolation;
+use mcs_model::{Addr, BlockAddr, CacheId, Word};
+use std::collections::HashMap;
+
+/// The golden serialized view of memory plus lock ownership.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    golden: HashMap<Addr, Word>,
+    lock_holders: HashMap<BlockAddr, CacheId>,
+    reads_checked: u64,
+    writes_committed: u64,
+}
+
+impl Oracle {
+    /// A fresh oracle: all memory zero, no locks held.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Commits a serialized write.
+    pub fn commit_write(&mut self, addr: Addr, value: Word) {
+        self.writes_committed += 1;
+        self.golden.insert(addr, value);
+    }
+
+    /// The latest serialized value at `addr`.
+    pub fn latest(&self, addr: Addr) -> Word {
+        self.golden.get(&addr).copied().unwrap_or(Word(0))
+    }
+
+    /// Checks a committed read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleViolation::StaleRead`] if `got` is not the latest
+    /// serialized value.
+    pub fn check_read(
+        &mut self,
+        cache: CacheId,
+        addr: Addr,
+        got: Word,
+    ) -> Result<(), OracleViolation> {
+        self.reads_checked += 1;
+        let expected = self.latest(addr);
+        if got != expected {
+            return Err(OracleViolation::StaleRead { cache, addr, got, expected });
+        }
+        Ok(())
+    }
+
+    /// Records a lock acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleViolation::DoubleLock`] if another cache holds it.
+    pub fn acquire_lock(
+        &mut self,
+        block: BlockAddr,
+        cache: CacheId,
+    ) -> Result<(), OracleViolation> {
+        if let Some(&holder) = self.lock_holders.get(&block) {
+            if holder != cache {
+                return Err(OracleViolation::DoubleLock { block, holder, acquirer: cache });
+            }
+        }
+        self.lock_holders.insert(block, cache);
+        Ok(())
+    }
+
+    /// Records a lock release.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleViolation::ReleaseWithoutHold`] if `cache` does not
+    /// hold the lock.
+    pub fn release_lock(
+        &mut self,
+        block: BlockAddr,
+        cache: CacheId,
+    ) -> Result<(), OracleViolation> {
+        match self.lock_holders.get(&block) {
+            Some(&holder) if holder == cache => {
+                self.lock_holders.remove(&block);
+                Ok(())
+            }
+            _ => Err(OracleViolation::ReleaseWithoutHold { block, releaser: cache }),
+        }
+    }
+
+    /// Current holder of the lock on `block`, if any.
+    pub fn lock_holder(&self, block: BlockAddr) -> Option<CacheId> {
+        self.lock_holders.get(&block).copied()
+    }
+
+    /// Number of reads checked so far.
+    pub fn reads_checked(&self) -> u64 {
+        self.reads_checked
+    }
+
+    /// Number of writes committed so far.
+    pub fn writes_committed(&self) -> u64 {
+        self.writes_committed
+    }
+
+    /// Checks privilege exclusivity over the holders of one block:
+    /// `holders` lists `(cache, sole_access, source)` for every cache with
+    /// a valid line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleViolation::DualWriters`] or
+    /// [`OracleViolation::DualSources`] on conflict.
+    pub fn check_exclusivity(
+        &self,
+        block: BlockAddr,
+        holders: &[(CacheId, bool, bool)],
+    ) -> Result<(), OracleViolation> {
+        let mut writer: Option<CacheId> = None;
+        let mut source: Option<CacheId> = None;
+        for &(cache, sole, src) in holders {
+            if sole {
+                if let Some(a) = writer {
+                    return Err(OracleViolation::DualWriters { block, a, b: cache });
+                }
+                writer = Some(cache);
+            }
+            if src {
+                if let Some(a) = source {
+                    return Err(OracleViolation::DualSources { block, a, b: cache });
+                }
+                source = Some(cache);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_track_latest_write() {
+        let mut o = Oracle::new();
+        assert!(o.check_read(CacheId(0), Addr(1), Word(0)).is_ok());
+        o.commit_write(Addr(1), Word(5));
+        assert!(o.check_read(CacheId(0), Addr(1), Word(5)).is_ok());
+        let err = o.check_read(CacheId(1), Addr(1), Word(0)).unwrap_err();
+        assert!(matches!(err, OracleViolation::StaleRead { .. }));
+        assert_eq!(o.reads_checked(), 3);
+        assert_eq!(o.writes_committed(), 1);
+    }
+
+    #[test]
+    fn lock_mutual_exclusion() {
+        let mut o = Oracle::new();
+        o.acquire_lock(BlockAddr(1), CacheId(0)).unwrap();
+        assert_eq!(o.lock_holder(BlockAddr(1)), Some(CacheId(0)));
+        let err = o.acquire_lock(BlockAddr(1), CacheId(1)).unwrap_err();
+        assert!(matches!(err, OracleViolation::DoubleLock { .. }));
+        // Re-acquisition by the holder is idempotent (RMW via lock state).
+        o.acquire_lock(BlockAddr(1), CacheId(0)).unwrap();
+        o.release_lock(BlockAddr(1), CacheId(0)).unwrap();
+        assert_eq!(o.lock_holder(BlockAddr(1)), None);
+    }
+
+    #[test]
+    fn release_requires_hold() {
+        let mut o = Oracle::new();
+        let err = o.release_lock(BlockAddr(2), CacheId(0)).unwrap_err();
+        assert!(matches!(err, OracleViolation::ReleaseWithoutHold { .. }));
+        o.acquire_lock(BlockAddr(2), CacheId(1)).unwrap();
+        let err = o.release_lock(BlockAddr(2), CacheId(0)).unwrap_err();
+        assert!(matches!(err, OracleViolation::ReleaseWithoutHold { .. }));
+    }
+
+    #[test]
+    fn exclusivity_checks() {
+        let o = Oracle::new();
+        // One writer, one source: fine.
+        o.check_exclusivity(
+            BlockAddr(0),
+            &[(CacheId(0), true, true), (CacheId(1), false, false)],
+        )
+        .unwrap();
+        // Two writers: violation.
+        let err = o
+            .check_exclusivity(BlockAddr(0), &[(CacheId(0), true, false), (CacheId(1), true, false)])
+            .unwrap_err();
+        assert!(matches!(err, OracleViolation::DualWriters { .. }));
+        // Two sources: violation.
+        let err = o
+            .check_exclusivity(BlockAddr(0), &[(CacheId(0), false, true), (CacheId(2), false, true)])
+            .unwrap_err();
+        assert!(matches!(err, OracleViolation::DualSources { .. }));
+    }
+}

@@ -1,0 +1,1238 @@
+//! The full-broadcast single-bus system engine.
+//!
+//! The engine owns everything that is *not* protocol-specific: processors
+//! and their phase machines, the bus (priority arbitration with a reserved
+//! high-priority level for busy-wait registers, Section E.4), snoop
+//! aggregation over the hit / dirty-status / locked / memory-inhibit lines,
+//! data movement, main memory, eviction write-backs, the busy-wait
+//! registers, directory-interference accounting, statistics, tracing, and
+//! the coherence oracles.
+//!
+//! Bus transactions commit atomically at grant time: all snoopers update
+//! state, data moves, and the requester installs its new line state; the
+//! bus then stays busy for the transaction's computed duration. Because the
+//! single bus serializes the system, this is behaviourally faithful while
+//! keeping the simulation deterministic.
+
+use crate::config::SystemConfig;
+use crate::error::{OracleViolation, SimError};
+use crate::memory::MainMemory;
+use crate::oracle::Oracle;
+use crate::workload::{AccessResult, ScriptWorkload, WaitBehavior, WorkItem, Workload};
+use mcs_cache::{BusyWaitRegister, Cache, DirectoryModel, EvictedLine};
+use std::collections::HashMap;
+use mcs_model::{
+    AccessKind, Addr, AgentId, BlockAddr, BlockGeometry, BusOp, BusTxn, CacheId, CompleteOutcome,
+    EvictAction, Event, LineState, Privilege, ProcAction, ProcId, ProcOp, Protocol, SnoopSummary,
+    SourcePolicy, StateCause, Stats, TimingConfig, Trace, UpdateTarget, Word,
+};
+
+/// Per-processor phase machine.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Will ask the workload for its next item.
+    Ready,
+    /// Busy computing until the given cycle.
+    Computing { until: u64 },
+    /// Has a bus request queued, waiting for a grant.
+    Pending { op: ProcOp, bus_op: BusOp, retries: u32, wait_since: Option<u64> },
+    /// Transaction granted; completes (from the processor's view) at `until`.
+    InFlight { op: ProcOp, until: u64, result: AccessResult },
+    /// Lock fetch denied; busy-wait register armed (Figure 7).
+    WaitingLock { op: ProcOp, bus_op: BusOp, since: u64, behavior: WaitBehavior, worked: u64, retries: u32 },
+    /// Program finished.
+    Done,
+}
+
+/// Outcome of one executed bus transaction, engine-internal.
+enum TxnOut {
+    Completed { result: AccessResult, duration: u64 },
+    Retried { duration: u64 },
+    Denied { duration: u64 },
+    /// First transaction of a two-transaction operation done; present the
+    /// op again against the installed state.
+    InstalledRetry { duration: u64 },
+}
+
+/// A simulated full-broadcast multiprocessor running protocol `P`.
+///
+/// See the crate docs for an end-to-end example.
+pub struct System<P: Protocol> {
+    protocol: P,
+    geometry: BlockGeometry,
+    timing: TimingConfig,
+    retry_bound: u32,
+    caches: Vec<Cache<P::State>>,
+    registers: Vec<BusyWaitRegister>,
+    directories: Vec<DirectoryModel>,
+    memory: MainMemory,
+    oracle: Option<Oracle>,
+    check_dual_sources: bool,
+    stats: Stats,
+    trace: Trace,
+    phases: Vec<Phase>,
+    /// Lock bits spilled to memory when a locked block had to be purged
+    /// (Section E.3's minor modification): block -> (holder, waiter seen).
+    memory_locks: HashMap<BlockAddr, (CacheId, bool)>,
+    now: u64,
+    bus_free_at: u64,
+    rr: usize,
+}
+
+impl<P: Protocol> System<P> {
+    /// Builds a system of `config.processors()` processors running
+    /// `protocol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid or has no
+    /// processors.
+    pub fn new(protocol: P, config: SystemConfig) -> Result<Self, SimError> {
+        let n = config.processors();
+        if n == 0 {
+            return Err(SimError::NoProcessors);
+        }
+        config.timing().validate()?;
+        let geometry = config.cache().geometry();
+        let duality = config.directory().unwrap_or(protocol.features().directory);
+        let check_dual_sources =
+            protocol.features().source_policy != SourcePolicy::Arbitrate;
+        Ok(System {
+            geometry,
+            timing: *config.timing(),
+            retry_bound: config.retry_bound(),
+            caches: (0..n).map(|_| Cache::new(*config.cache())).collect(),
+            registers: vec![BusyWaitRegister::new(); n],
+            directories: (0..n).map(|_| DirectoryModel::new(duality)).collect(),
+            memory: MainMemory::new(geometry),
+            oracle: config.oracle().then(Oracle::new),
+            check_dual_sources,
+            stats: Stats::new(n),
+            trace: if config.trace() { Trace::enabled() } else { Trace::disabled() },
+            phases: vec![Phase::Ready; n],
+            memory_locks: HashMap::new(),
+            now: 0,
+            bus_free_at: 0,
+            rr: 0,
+            protocol,
+        })
+    }
+
+    /// The protocol instance.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The block geometry in use.
+    pub fn geometry(&self) -> BlockGeometry {
+        self.geometry
+    }
+
+    /// Current statistics (directory counters aggregated across caches).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Aggregates per-cache directory counters into the stats block.
+    fn sync_directory_stats(&mut self) {
+        let mut agg = mcs_model::DirectoryStats::default();
+        for d in &self.directories {
+            let s = d.stats();
+            agg.proc_accesses += s.proc_accesses;
+            agg.bus_accesses += s.bus_accesses;
+            agg.dirty_status_updates += s.dirty_status_updates;
+            agg.waiter_status_updates += s.waiter_status_updates;
+            agg.interference_cycles += s.interference_cycles;
+        }
+        self.stats.directory = agg;
+    }
+
+    /// Per-cache directory models (Feature 3 analysis).
+    pub fn directory_stats(&self, cache: CacheId) -> &mcs_model::DirectoryStats {
+        self.directories[cache.0].stats()
+    }
+
+    /// The event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The protocol state cache `cache` holds for `block`.
+    pub fn state_of(&self, cache: CacheId, block: BlockAddr) -> P::State {
+        self.caches[cache.0].state_of(block)
+    }
+
+    /// Runs `workload` until every processor reports
+    /// [`WorkItem::Done`](crate::WorkItem::Done) or `max_cycles` elapse,
+    /// returning the accumulated statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an oracle violation, a livelock, or a cache pinning error.
+    pub fn run_workload<W: Workload>(
+        &mut self,
+        mut workload: W,
+        max_cycles: u64,
+    ) -> Result<Stats, SimError> {
+        self.reset_phases();
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self.step(&mut workload)? {
+                break;
+            }
+        }
+        self.sync_directory_stats();
+        Ok(self.stats.clone())
+    }
+
+    /// Convenience: runs a [`ScriptWorkload`] to completion and returns it
+    /// (with its recorded results) alongside the statistics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`System::run_workload`].
+    pub fn run_script(
+        &mut self,
+        script: Vec<(ProcId, ProcOp)>,
+        max_cycles: u64,
+    ) -> Result<(ScriptWorkload, Stats), SimError> {
+        self.reset_phases();
+        let mut w = ScriptWorkload::new(script);
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self.step(&mut w)? {
+                break;
+            }
+        }
+        self.sync_directory_stats();
+        let stats = self.stats.clone();
+        Ok((w, stats))
+    }
+
+    /// Restarts every processor's phase machine so a fresh workload can be
+    /// driven over the warm caches and memory.
+    fn reset_phases(&mut self) {
+        for phase in &mut self.phases {
+            *phase = Phase::Ready;
+        }
+        for reg in &mut self.registers {
+            reg.disarm();
+        }
+    }
+
+    /// Advances one bus cycle. Returns `true` once every processor is done.
+    fn step<W: Workload>(&mut self, workload: &mut W) -> Result<bool, SimError> {
+        // 1. Deliver completions whose time has come.
+        for i in 0..self.phases.len() {
+            match &self.phases[i] {
+                Phase::InFlight { op, until, result } if *until <= self.now => {
+                    let (op, result) = (*op, *result);
+                    self.phases[i] = Phase::Ready;
+                    workload.complete(ProcId(i), &op, &result, self.now);
+                }
+                Phase::Computing { until } if *until <= self.now => {
+                    self.phases[i] = Phase::Ready;
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Arbitrate if the bus is free.
+        if self.bus_free_at <= self.now {
+            self.try_grant(workload)?;
+        }
+
+        // 3. Ready processors fetch work.
+        for i in 0..self.phases.len() {
+            if matches!(self.phases[i], Phase::Ready) {
+                match workload.next(ProcId(i), self.now) {
+                    WorkItem::Done => self.phases[i] = Phase::Done,
+                    WorkItem::Idle => {} // stays Ready; counted as stall below
+                    WorkItem::Compute(c) => {
+                        self.phases[i] = Phase::Computing { until: self.now + c.max(1) };
+                    }
+                    WorkItem::Op(op) => self.present_op(i, op, workload)?,
+                }
+            }
+        }
+
+        // 4. Per-cycle accounting.
+        let mut all_done = true;
+        for i in 0..self.phases.len() {
+            let p = &mut self.stats.per_proc[i];
+            match &self.phases[i] {
+                Phase::Done => continue,
+                Phase::Computing { .. } => p.busy_cycles += 1,
+                Phase::Ready => p.stall_cycles += 1, // idle
+                Phase::Pending { wait_since, .. } => {
+                    p.stall_cycles += 1;
+                    if wait_since.is_some() {
+                        p.lock_wait_cycles += 1;
+                    }
+                }
+                Phase::InFlight { .. } => p.stall_cycles += 1,
+                Phase::WaitingLock { behavior, worked, .. } => {
+                    p.lock_wait_cycles += 1;
+                    let working = matches!(behavior, WaitBehavior::WorkFor(c) if worked < c);
+                    if working {
+                        p.busy_cycles += 1;
+                        p.useful_wait_cycles += 1;
+                        if let Phase::WaitingLock { worked, .. } = &mut self.phases[i] {
+                            *worked += 1;
+                        }
+                    } else {
+                        p.stall_cycles += 1;
+                    }
+                }
+            }
+            all_done = false;
+        }
+
+        self.now += 1;
+        self.stats.cycles = self.now;
+        Ok(all_done)
+    }
+
+    /// A ready processor presents `op` to its cache.
+    fn present_op<W: Workload>(
+        &mut self,
+        i: usize,
+        op: ProcOp,
+        workload: &mut W,
+    ) -> Result<(), SimError> {
+        let kind = op.kind;
+        let block = self.geometry.block_of(op.addr);
+        self.directories[i].proc_access();
+        let pstats = &mut self.stats.per_proc[i];
+        pstats.refs += 1;
+        if kind.is_read() {
+            pstats.reads += 1;
+        }
+        if kind.is_write() {
+            pstats.writes += 1;
+        }
+
+        let state = self.caches[i].state_of(block);
+        // A holder unlocking a block whose lock bit was spilled to memory:
+        // the unlock is broadcast so the bit clears and waiters wake.
+        if kind == AccessKind::UnlockWrite
+            && self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(i))
+        {
+            self.stats.per_proc[i].misses += 1;
+            self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            self.phases[i] =
+                Phase::Pending { op, bus_op: BusOp::UnlockBroadcast, retries: 0, wait_since: None };
+            return Ok(());
+        }
+        // The conditional store (optimistic RMW, method 3, Section F.3):
+        // "if the write generates a miss, it means that the block was
+        // stolen between the read and the write, and atomicity is
+        // violated" — the cache raises an exception and drops the pending
+        // write. A still-valid copy proceeds as a plain write (possibly an
+        // upgrade); an invalidated copy aborts without touching the bus.
+        let effective_kind =
+            if kind == AccessKind::WriteIfOwned { AccessKind::Write } else { kind };
+        if kind == AccessKind::WriteIfOwned && !state.descriptor().is_valid() {
+            self.stats.per_proc[i].misses += 1;
+            self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
+            workload.complete(ProcId(i), &op, &result, self.now);
+            self.phases[i] = Phase::Computing { until: self.now + 1 };
+            return Ok(());
+        }
+        match self.protocol.proc_access(state, effective_kind) {
+            ProcAction::Hit { next } => {
+                self.stats.per_proc[i].hits += 1;
+                self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: true });
+                self.apply_local_hit(i, op, state, next, workload)?;
+                self.phases[i] = Phase::Computing { until: self.now + 1 };
+            }
+            ProcAction::Bus { op: bus_op } => {
+                self.stats.per_proc[i].misses += 1;
+                self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+                self.phases[i] =
+                    Phase::Pending { op, bus_op, retries: 0, wait_since: None };
+            }
+        }
+        Ok(())
+    }
+
+    /// Performs the data/state effects of a local (no-bus) access.
+    fn apply_local_hit<W: Workload>(
+        &mut self,
+        i: usize,
+        op: ProcOp,
+        state: P::State,
+        next: P::State,
+        workload: &mut W,
+    ) -> Result<(), SimError> {
+        let block = self.geometry.block_of(op.addr);
+        let before = state.descriptor();
+        let after = next.descriptor();
+
+        // Dirty-status change accounting (Feature 3 / experiment E4).
+        if op.kind.is_write() && !before.dirty && after.dirty {
+            self.stats.per_proc[i].write_hits_to_clean += 1;
+            self.directories[i].dirty_status_update();
+        }
+
+        if state != next {
+            self.push_state_change(CacheId(i), block, &state, &next, StateCause::ProcAccess);
+        }
+        if let Some(line) = self.caches[i].lookup_mut(block) {
+            line.state = next;
+        }
+        self.caches[i].touch(block);
+
+        // Data movement + oracle, all local.
+        let mut value = None;
+        if op.kind == AccessKind::Rmw {
+            let old = self.caches[i].read_word(op.addr).unwrap_or(Word(0));
+            self.check_read(CacheId(i), op.addr, old)?;
+            self.caches[i].write_word(op.addr, op.value.unwrap_or(Word(0)));
+            self.commit_write(op.addr, op.value.unwrap_or(Word(0)));
+            value = Some(old);
+        } else if op.kind.is_read() {
+            let v = self.caches[i].read_word(op.addr).unwrap_or(Word(0));
+            self.check_read(CacheId(i), op.addr, v)?;
+            value = Some(v);
+        } else if op.kind == AccessKind::WriteNoFetch {
+            // Whole-block overwrite satisfied locally (write privilege held).
+            let v = op.value.unwrap_or(Word(0));
+            for addr in self.geometry.words_of(block) {
+                self.caches[i].write_word(addr, v);
+                self.commit_write(addr, v);
+            }
+        } else if op.kind.is_write() {
+            let v = op.value.unwrap_or(Word(0));
+            self.caches[i].write_word(op.addr, v);
+            self.commit_write(op.addr, v);
+        }
+
+        // Lock bookkeeping (zero-time paths, Section E.3).
+        if op.kind == AccessKind::LockRead && after.is_locked() && !before.is_locked() {
+            self.stats.locks.acquires += 1;
+            self.stats.locks.zero_time_acquires += 1;
+            self.lock_oracle_acquire(block, CacheId(i))?;
+            self.trace.push(
+                self.now,
+                Event::LockAcquired { cache: CacheId(i), block, zero_time: true },
+            );
+        }
+        if op.kind == AccessKind::UnlockWrite && before.is_locked() && !after.is_locked() {
+            self.stats.locks.releases += 1;
+            self.stats.locks.zero_time_releases += 1;
+            self.lock_oracle_release(block, CacheId(i))?;
+            self.trace.push(
+                self.now,
+                Event::LockReleased { cache: CacheId(i), block, broadcast: false },
+            );
+        }
+
+        let result = AccessResult { value, hit: true, retries: 0, latency: 1, aborted: false };
+        workload.complete(ProcId(i), &op, &result, self.now);
+        Ok(())
+    }
+
+    /// Picks and executes at most one bus transaction.
+    fn try_grant<W: Workload>(&mut self, workload: &mut W) -> Result<(), SimError> {
+        let n = self.phases.len();
+        // Reserved high-priority level: woken busy-wait registers
+        // (Figure 9). Then normal requests, round-robin fair.
+        let mut chosen: Option<(usize, bool)> = None;
+        for off in 0..n {
+            let i = (self.rr + off) % n;
+            if matches!(self.phases[i], Phase::WaitingLock { .. }) && self.registers[i].wants_bus()
+            {
+                chosen = Some((i, true));
+                break;
+            }
+        }
+        if chosen.is_none() {
+            for off in 0..n {
+                let i = (self.rr + off) % n;
+                if matches!(self.phases[i], Phase::Pending { .. }) {
+                    chosen = Some((i, false));
+                    break;
+                }
+            }
+        }
+        let Some((i, hi)) = chosen else { return Ok(()) };
+        self.rr = (i + 1) % n;
+
+        let (op, bus_op, retries, wait_since) = match &self.phases[i] {
+            Phase::Pending { op, bus_op, retries, wait_since, .. } => {
+                (*op, *bus_op, *retries, *wait_since)
+            }
+            Phase::WaitingLock { op, bus_op, since, retries, .. } => {
+                (*op, *bus_op, *retries, Some(*since))
+            }
+            _ => unreachable!("chosen processor has a request"),
+        };
+        if hi {
+            self.registers[i].disarm();
+            self.stats.locks.wakeups += 1;
+        }
+
+        // Re-evaluate the access against the *current* line state: while
+        // the request was queued, snooped transactions may have invalidated
+        // the copy (an upgrade must become a full fetch) or even granted
+        // the needed privilege. Replaying the stale request would read
+        // stale words or lock a stolen block.
+        let block = self.geometry.block_of(op.addr);
+        let state = self.caches[i].state_of(block);
+        // A spilled-lock unlock keeps its forced broadcast.
+        if op.kind == AccessKind::UnlockWrite
+            && self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(i))
+        {
+            match self.execute_txn(i, op, BusOp::UnlockBroadcast, hi)? {
+                TxnOut::Completed { mut result, duration } => {
+                    result.retries = retries;
+                    result.latency = duration;
+                    self.stats.bus.busy_cycles += duration;
+                    self.bus_free_at = self.now + duration;
+                    self.phases[i] = Phase::InFlight { op, until: self.now + duration, result };
+                }
+                _ => unreachable!("unlock broadcasts always complete"),
+            }
+            return Ok(());
+        }
+        // A queued conditional store whose line was invalidated aborts
+        // instead of converting into a full fetch (the steal violated the
+        // optimistic RMW's atomicity).
+        if op.kind == AccessKind::WriteIfOwned && !state.descriptor().is_valid() {
+            let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
+            workload.complete(ProcId(i), &op, &result, self.now);
+            self.phases[i] = Phase::Computing { until: self.now + 1 };
+            return Ok(());
+        }
+        let effective_kind =
+            if op.kind == AccessKind::WriteIfOwned { AccessKind::Write } else { op.kind };
+        let bus_op = match self.protocol.proc_access(state, effective_kind) {
+            ProcAction::Bus { op: fresh } => fresh,
+            ProcAction::Hit { next } => {
+                // The access can now complete locally; no transaction.
+                let _ = bus_op;
+                self.apply_local_hit(i, op, state, next, workload)?;
+                self.phases[i] = Phase::Computing { until: self.now + 1 };
+                return Ok(());
+            }
+        };
+
+        match self.execute_txn(i, op, bus_op, hi)? {
+            TxnOut::Completed { mut result, duration } => {
+                result.retries = retries;
+                if let Some(since) = wait_since {
+                    let waited = self.now.saturating_sub(since);
+                    self.stats.locks.max_wait_cycles = self.stats.locks.max_wait_cycles.max(waited);
+                    self.stats.locks.total_wait_cycles += waited;
+                }
+                result.latency = duration;
+                self.stats.bus.busy_cycles += duration;
+                self.bus_free_at = self.now + duration;
+                self.phases[i] =
+                    Phase::InFlight { op, until: self.now + duration, result };
+            }
+            TxnOut::InstalledRetry { duration } => {
+                self.stats.bus.busy_cycles += duration;
+                self.bus_free_at = self.now + duration;
+                // Counted against the retry bound so a protocol whose
+                // second half keeps being undone by snoops is detected as
+                // a livelock instead of spinning forever.
+                if retries + 1 > self.retry_bound {
+                    return Err(SimError::Livelock { proc: i, bound: self.retry_bound });
+                }
+                let block = self.geometry.block_of(op.addr);
+                let new_state = self.caches[i].state_of(block);
+                match self.protocol.proc_access(new_state, op.kind) {
+                    ProcAction::Bus { op: bus_op2 } => {
+                        self.phases[i] =
+                            Phase::Pending { op, bus_op: bus_op2, retries: retries + 1, wait_since };
+                    }
+                    ProcAction::Hit { next } => {
+                        // The second half completes locally (rare).
+                        self.apply_local_hit(i, op, new_state, next, workload)?;
+                        self.phases[i] = Phase::Computing { until: self.now + duration };
+                    }
+                }
+            }
+            TxnOut::Retried { duration } => {
+                self.stats.bus.retries += 1;
+                if retries + 1 > self.retry_bound {
+                    return Err(SimError::Livelock { proc: i, bound: self.retry_bound });
+                }
+                self.stats.bus.busy_cycles += duration;
+                self.bus_free_at = self.now + duration;
+                self.phases[i] = Phase::Pending { op, bus_op, retries: retries + 1, wait_since };
+            }
+            TxnOut::Denied { duration } => {
+                let block = self.geometry.block_of(op.addr);
+                self.stats.locks.denied += 1;
+                self.registers[i].arm(block);
+                self.trace.push(self.now, Event::WaiterArmed { cache: CacheId(i), block });
+                let behavior = workload.on_lock_wait(ProcId(i), block, self.now);
+                self.stats.bus.busy_cycles += duration;
+                self.bus_free_at = self.now + duration;
+                self.phases[i] = Phase::WaitingLock {
+                    op,
+                    bus_op,
+                    since: wait_since.unwrap_or(self.now),
+                    behavior,
+                    worked: 0,
+                    retries,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one bus transaction atomically.
+    fn execute_txn(
+        &mut self,
+        req: usize,
+        op: ProcOp,
+        bus_op: BusOp,
+        hi: bool,
+    ) -> Result<TxnOut, SimError> {
+        let block = self.geometry.block_of(op.addr);
+        let txn = BusTxn { op: bus_op, block, requester: AgentId::Cache(CacheId(req)), high_priority: hi };
+
+        self.stats.bus.txns += 1;
+        *self.stats.bus.by_op.entry(bus_op.mnemonic()).or_default() += 1;
+        if hi {
+            self.stats.bus.high_priority_grants += 1;
+        }
+
+        // --- Snoop phase ---
+        let mut summary = SnoopSummary::default();
+        let mut supplier: Option<usize> = None;
+        let mut snoop_flush_count = 0u32;
+        for j in 0..self.caches.len() {
+            if j == req {
+                continue;
+            }
+            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
+            let before = line.state;
+            let outcome = self.protocol.snoop(before, &txn);
+            line.state = outcome.next;
+            self.directories[j].bus_access();
+            summary.absorb(&outcome.reply);
+            if outcome.reply.supplies_data {
+                supplier = Some(j);
+            }
+            if outcome.reply.flushes {
+                let data = line.data.clone();
+                line.clear_unit_dirty();
+                self.memory.write_block(block, &data);
+                self.stats.sources.flushes += 1;
+                snoop_flush_count += 1;
+                self.trace.push(self.now, Event::Flush { cache: CacheId(j), block });
+            }
+            let bd = before.descriptor();
+            let ad = outcome.next.descriptor();
+            if bd.is_valid() && !ad.is_valid() {
+                self.stats.bus.invalidations += 1;
+            }
+            if !bd.waiter && ad.waiter {
+                self.directories[j].waiter_status_update();
+            }
+            if before != outcome.next {
+                self.push_state_change(CacheId(j), block, &before, &outcome.next, StateCause::Snoop);
+            }
+        }
+
+        // --- Busy-wait register observations ---
+        match bus_op {
+            BusOp::UnlockBroadcast => self.broadcast_unlock(block, req),
+            BusOp::Fetch { privilege: Privilege::Lock, .. } => {
+                for j in 0..self.registers.len() {
+                    if j != req {
+                        self.registers[j].observe_relock(block);
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // --- Engine-level data updates in snoopers (write-through/update) ---
+        if let BusOp::WriteWord { target } = bus_op.normalize_update() {
+            let value = op.value.unwrap_or(Word(0));
+            for j in 0..self.caches.len() {
+                if j == req {
+                    continue;
+                }
+                let valid =
+                    self.caches[j].state_of(block).descriptor().is_valid();
+                let apply = match target {
+                    UpdateTarget::Invalidate => false,
+                    UpdateTarget::ValidCopies => valid,
+                    UpdateTarget::AllCopies => self.caches[j].lookup(block).is_some(),
+                };
+                if apply && self.caches[j].write_word(op.addr, value) {
+                    self.stats.bus.updates += 1;
+                }
+            }
+        }
+
+        // The memory lock bit (a spilled lock) denies every request from a
+        // non-holder just as a locked cache line would.
+        if let Some((holder, waiter)) = self.memory_locks.get(&block).copied() {
+            if holder != CacheId(req)
+                && matches!(txn.op, BusOp::Fetch { .. } | BusOp::ClaimNoFetch | BusOp::Invalidate)
+            {
+                summary.locked = true;
+                if !waiter {
+                    self.memory_locks.insert(block, (holder, true));
+                }
+            }
+        }
+
+        // --- Completion phase ---
+        let state = self.caches[req].state_of(block);
+        let had_valid = state.descriptor().is_valid();
+        let complete_kind =
+            if op.kind == AccessKind::WriteIfOwned { AccessKind::Write } else { op.kind };
+        let outcome = self.protocol.complete(state, complete_kind, &txn, &summary);
+
+        let flush_extra = self.timing.nonconcurrent_flush_penalty * snoop_flush_count as u64;
+
+        match outcome {
+            CompleteOutcome::Retry => {
+                let duration = if snoop_flush_count > 0 {
+                    self.timing.flush(self.geometry.words_per_block())
+                } else {
+                    self.timing.signal_txn()
+                };
+                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                Ok(TxnOut::Retried { duration })
+            }
+            CompleteOutcome::LockDenied => {
+                let duration = self.timing.signal_txn();
+                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.trace.push(self.now, Event::LockDenied { cache: CacheId(req), block });
+                Ok(TxnOut::Denied { duration })
+            }
+            CompleteOutcome::Installed { next } => {
+                let (result, duration) = self
+                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, true)?;
+                let duration = duration + flush_extra;
+                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.check_block_invariants(block)?;
+                Ok(TxnOut::Completed { result, duration })
+            }
+            CompleteOutcome::InstalledRetryOp { next } => {
+                let (_, duration) = self
+                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, false)?;
+                let duration = duration + flush_extra;
+                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.check_block_invariants(block)?;
+                Ok(TxnOut::InstalledRetry { duration })
+            }
+        }
+    }
+
+    /// Applies data movement and the processor op's effects after a
+    /// successful transaction, computing its duration.
+    #[allow(clippy::too_many_arguments)]
+    fn install(
+        &mut self,
+        req: usize,
+        op: ProcOp,
+        bus_op: BusOp,
+        state: P::State,
+        next: P::State,
+        summary: &SnoopSummary,
+        supplier: Option<usize>,
+        had_valid: bool,
+        apply_op: bool,
+    ) -> Result<(AccessResult, u64), SimError> {
+        let block = self.geometry.block_of(op.addr);
+        let words = self.geometry.words_per_block();
+        let unit_words =
+            self.caches[req].config().transfer_unit_words().unwrap_or(words);
+        let mut evict_extra = 0u64;
+        let mut value: Option<Word> = None;
+        let mut duration;
+
+        match bus_op {
+            BusOp::Fetch { need_data, .. } => {
+                // Allocate a frame (evicting if necessary) and move data.
+                let supplier_data = supplier.map(|j| self.caches[j].lookup(block).map(|l| (l.data.clone(), l.dirty_units())).expect("supplier has line"));
+                let fetch_units = supplier_data
+                    .as_ref()
+                    .map(|(_, dirty)| (*dirty).max(1))
+                    .unwrap_or(1);
+                let (_, evicted) = self.caches[req].ensure_frame_with(block, true)?;
+                if let Some(ev) = evicted {
+                    evict_extra += self.writeback_evicted(req, ev)?;
+                }
+                if need_data && !had_valid {
+                    self.stats.sources.fetches += 1;
+                    let data = match &supplier_data {
+                        Some((data, _)) => {
+                            self.stats.sources.from_cache += 1;
+                            self.trace.push(
+                                self.now,
+                                Event::CacheProvides {
+                                    cache: CacheId(supplier.unwrap()),
+                                    block,
+                                    dirty: summary.source_dirty.unwrap_or(false),
+                                },
+                            );
+                            data.clone()
+                        }
+                        None => {
+                            if summary.memory_inhibited {
+                                return Err(SimError::NoDataSource { block });
+                            }
+                            self.stats.sources.from_memory += 1;
+                            self.trace.push(self.now, Event::MemoryProvides { block });
+                            self.memory.read_block(block)
+                        }
+                    };
+                    let line = self.caches[req].lookup_mut(block).expect("frame just ensured");
+                    line.data = data;
+                    line.clear_unit_dirty();
+                }
+                // Duration: transfer-unit-aware word count.
+                let moved_words = if self.caches[req].config().transfer_unit_words().is_some() {
+                    (fetch_units * unit_words).min(words)
+                } else {
+                    words
+                };
+                let moved_words = if need_data && !had_valid { moved_words } else { 0 };
+                let arb_source = self.protocol.features().source_policy
+                    == SourcePolicy::Arbitrate
+                    && supplier.is_some()
+                    && summary.sharers > 1;
+                duration = if moved_words == 0 {
+                    self.timing.signal_txn()
+                } else if supplier.is_some() {
+                    self.stats.bus.words_transferred += moved_words as u64;
+                    self.timing.fetch_from_cache(moved_words, arb_source)
+                } else {
+                    self.stats.bus.words_transferred += moved_words as u64;
+                    self.timing.fetch_from_memory(moved_words)
+                };
+            }
+            BusOp::Invalidate => {
+                duration = self.timing.signal_txn();
+            }
+            BusOp::ClaimNoFetch => {
+                let (_, evicted) = self.caches[req].ensure_frame_with(block, true)?;
+                if let Some(ev) = evicted {
+                    evict_extra += self.writeback_evicted(req, ev)?;
+                }
+                // The processor overwrites the whole block.
+                let fill = op.value.unwrap_or(Word(0));
+                for addr in self.geometry.words_of(block) {
+                    self.caches[req].write_word(addr, fill);
+                    self.commit_write(addr, fill);
+                }
+                duration = self.timing.signal_txn();
+            }
+            BusOp::WriteWord { .. } => {
+                self.memory.write_word(op.addr, op.value.unwrap_or(Word(0)));
+                self.stats.bus.words_transferred += 1;
+                duration = self.timing.word_txn(true);
+            }
+            BusOp::UpdateWord { to_memory } => {
+                if to_memory {
+                    self.memory.write_word(op.addr, op.value.unwrap_or(Word(0)));
+                }
+                self.stats.bus.words_transferred += 1;
+                duration = self.timing.word_txn(to_memory);
+            }
+            BusOp::UnlockBroadcast => {
+                self.stats.bus.unlock_broadcasts += 1;
+                // Clearing a spilled lock bit: the holder releases without
+                // ever re-fetching the block.
+                if self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(req)) {
+                    self.memory_locks.remove(&block);
+                    self.stats.locks.releases += 1;
+                    self.lock_oracle_release(block, CacheId(req))?;
+                    self.trace.push(
+                        self.now,
+                        Event::LockReleased { cache: CacheId(req), block, broadcast: true },
+                    );
+                }
+                duration = self.timing.signal_txn();
+            }
+            BusOp::MemoryRmw => {
+                let old = self.memory.rmw_word(op.addr, op.value.unwrap_or(Word(0)));
+                self.check_read(CacheId(req), op.addr, old)?;
+                self.commit_write(op.addr, op.value.unwrap_or(Word(0)));
+                value = Some(old);
+                self.stats.bus.words_transferred += 1;
+                duration = self.timing.memory_rmw();
+            }
+            BusOp::Flush => {
+                if let Some(line) = self.caches[req].lookup_mut(block) {
+                    let data = line.data.clone();
+                    line.clear_unit_dirty();
+                    self.memory.write_block(block, &data);
+                }
+                self.stats.sources.flushes += 1;
+                duration = self.timing.flush(words);
+            }
+            BusOp::IoInput | BusOp::IoOutput { .. } => {
+                // I/O transactions are issued through `io_input`/`io_output`,
+                // never as processor ops.
+                duration = self.timing.fetch_from_memory(words);
+            }
+        }
+
+        // Install the new state.
+        if self.caches[req].lookup(block).is_some() {
+            if state != next {
+                self.push_state_change(CacheId(req), block, &state, &next, StateCause::Complete);
+            }
+            self.caches[req].lookup_mut(block).expect("line present").state = next;
+            self.caches[req].touch(block);
+        }
+
+        // Apply the processor op's own read/write against the (now
+        // resident) line, unless already handled by the bus op above.
+        if !apply_op {
+            let duration = duration + evict_extra;
+            return Ok((AccessResult { value: None, hit: false, retries: 0, latency: duration, aborted: false }, duration));
+        }
+        match bus_op {
+            BusOp::MemoryRmw | BusOp::ClaimNoFetch | BusOp::UnlockBroadcast => {
+                if bus_op == BusOp::UnlockBroadcast {
+                    let v = op.value.unwrap_or(Word(0));
+                    if !self.caches[req].write_word(op.addr, v) {
+                        // Spilled-lock unlock: the block is no longer
+                        // cached, so the final write lands in memory.
+                        self.memory.write_word(op.addr, v);
+                    }
+                    self.commit_write(op.addr, v);
+                }
+            }
+            _ => {
+                if op.kind == AccessKind::Rmw {
+                    let old = self.caches[req].read_word(op.addr).unwrap_or_else(|| {
+                        // Write-through protocols may not allocate; fall
+                        // back to memory's value.
+                        self.memory.read_word(op.addr)
+                    });
+                    self.check_read(CacheId(req), op.addr, old)?;
+                    let v = op.value.unwrap_or(Word(0));
+                    if !self.caches[req].write_word(op.addr, v) {
+                        self.memory.write_word(op.addr, v);
+                    }
+                    self.commit_write(op.addr, v);
+                    value = Some(old);
+                } else if op.kind.is_read() {
+                    let v = self.caches[req].read_word(op.addr).unwrap_or_else(|| self.memory.read_word(op.addr));
+                    self.check_read(CacheId(req), op.addr, v)?;
+                    value = Some(v);
+                } else if op.kind == AccessKind::WriteNoFetch {
+                    // Protocol lacks Feature 9: the processor writes every
+                    // word of the block through whatever path it got.
+                    // Memory is written unconditionally so clean-state
+                    // protocols (write-through, write-once) stay coherent.
+                    let v = op.value.unwrap_or(Word(0));
+                    for addr in self.geometry.words_of(block) {
+                        self.caches[req].write_word(addr, v);
+                        self.memory.write_word(addr, v);
+                        self.commit_write(addr, v);
+                    }
+                } else if op.kind.is_write() {
+                    let v = op.value.unwrap_or(Word(0));
+                    if !self.caches[req].write_word(op.addr, v) {
+                        // Non-allocating write-through: memory already
+                        // updated by the WriteWord arm above.
+                    }
+                    self.commit_write(op.addr, v);
+                }
+            }
+        }
+
+        // Lock bookkeeping for the bus paths.
+        let before_d = state.descriptor();
+        let after_d = next.descriptor();
+        if op.kind == AccessKind::LockRead && after_d.is_locked() && !before_d.is_locked() {
+            self.stats.locks.acquires += 1;
+            self.lock_oracle_acquire(block, CacheId(req))?;
+            self.trace.push(
+                self.now,
+                Event::LockAcquired { cache: CacheId(req), block, zero_time: false },
+            );
+        }
+        if op.kind == AccessKind::UnlockWrite && before_d.is_locked() && !after_d.is_locked() {
+            self.stats.locks.releases += 1;
+            self.lock_oracle_release(block, CacheId(req))?;
+            self.trace.push(
+                self.now,
+                Event::LockReleased {
+                    cache: CacheId(req),
+                    block,
+                    broadcast: bus_op == BusOp::UnlockBroadcast,
+                },
+            );
+        }
+        // A holder re-fetching its own spilled lock moves the bit back
+        // into cache state (preserving any recorded waiter).
+        if self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(req))
+            && after_d.is_locked()
+        {
+            self.memory_locks.remove(&block);
+        }
+        // A lock-state RMW that was woken from busy wait collapses
+        // lock+op+unlock; notify any remaining waiters (Section E.3's
+        // zero-time unlock still broadcasts when waiters may exist).
+        if op.kind == AccessKind::Rmw
+            && matches!(bus_op, BusOp::Fetch { privilege: Privilege::Lock, .. })
+            && !after_d.is_locked()
+        {
+            let any_armed = (0..self.registers.len())
+                .any(|j| j != req && self.registers[j].watching() == Some(block));
+            if any_armed {
+                self.stats.bus.unlock_broadcasts += 1;
+                duration += self.timing.signal_txn();
+                self.broadcast_unlock(block, req);
+            }
+        }
+
+        let duration = duration + evict_extra;
+        Ok((AccessResult { value, hit: false, retries: 0, latency: duration, aborted: false }, duration))
+    }
+
+    /// Notifies all armed busy-wait registers that `block` was unlocked.
+    fn broadcast_unlock(&mut self, block: BlockAddr, req: usize) {
+        for j in 0..self.registers.len() {
+            if j != req && self.registers[j].observe_unlock(block) {
+                self.trace.push(self.now, Event::WaiterWoken { cache: CacheId(j), block });
+            }
+        }
+    }
+
+    /// Writes back an evicted line if the protocol requires it; returns the
+    /// extra bus cycles consumed.
+    fn writeback_evicted(
+        &mut self,
+        req: usize,
+        ev: EvictedLine<P::State>,
+    ) -> Result<u64, SimError> {
+        let d = ev.state.descriptor();
+        // Feature 8: purging a source line while the block lives elsewhere
+        // loses the source.
+        if d.source {
+            let valid_elsewhere = (0..self.caches.len()).any(|j| {
+                j != req && self.caches[j].state_of(ev.tag).descriptor().is_valid()
+            });
+            if valid_elsewhere {
+                self.stats.sources.source_losses += 1;
+            }
+        }
+        // The minor modification of Section E.3: purging a locked block
+        // writes its lock bit to memory; the holder keeps the lock, other
+        // requesters keep being denied, and the eventual unlock broadcasts.
+        if d.is_locked() {
+            self.memory_locks.insert(ev.tag, (CacheId(req), d.waiter));
+            self.stats.locks.lock_spills += 1;
+            self.trace.push(
+                self.now,
+                Event::Note(format!("C{req} spills lock bit for {} to memory", ev.tag)),
+            );
+        }
+        let action = self.protocol.evict(ev.state);
+        let writeback = action == EvictAction::Writeback || d.is_locked();
+        self.trace.push(self.now, Event::Eviction { cache: CacheId(req), block: ev.tag, writeback });
+        if writeback {
+            self.memory.write_block(ev.tag, &ev.data);
+            self.stats.sources.flushes += 1;
+            let words = if self.caches[req].config().transfer_unit_words().is_some() {
+                let unit = self.caches[req].config().transfer_unit_words().unwrap();
+                (ev.dirty_units * unit).max(unit)
+            } else {
+                self.geometry.words_per_block()
+            };
+            self.stats.bus.words_transferred += words as u64;
+            Ok(self.timing.flush(words))
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// I/O input (Section E.2): the I/O processor writes `data` to memory
+    /// and invalidates the block in all caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle violations.
+    pub fn io_input(&mut self, block: BlockAddr, data: &[Word]) -> Result<(), SimError> {
+        let txn = BusTxn { op: BusOp::IoInput, block, requester: AgentId::Io, high_priority: false };
+        self.stats.bus.txns += 1;
+        *self.stats.bus.by_op.entry(BusOp::IoInput.mnemonic()).or_default() += 1;
+        let mut summary = SnoopSummary::default();
+        for j in 0..self.caches.len() {
+            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
+            let before = line.state;
+            let outcome = self.protocol.snoop(before, &txn);
+            line.state = outcome.next;
+            summary.absorb(&outcome.reply);
+            let bd = before.descriptor();
+            if bd.is_valid() && !outcome.next.descriptor().is_valid() {
+                self.stats.bus.invalidations += 1;
+            }
+            if before != outcome.next {
+                self.push_state_change(CacheId(j), block, &before, &outcome.next, StateCause::Snoop);
+            }
+        }
+        self.memory.write_block(block, data);
+        for (idx, addr) in self.geometry.words_of(block).enumerate() {
+            self.commit_write(addr, data[idx]);
+        }
+        let duration = self.timing.flush(self.geometry.words_per_block());
+        self.trace.push(self.now, Event::Bus { txn, summary, duration });
+        self.stats.bus.busy_cycles += duration;
+        self.bus_free_at = self.now.max(self.bus_free_at) + duration;
+        Ok(())
+    }
+
+    /// I/O output (Section E.2): fetch the latest version of `block`;
+    /// `paging` invalidates cache copies, non-paging leaves source status
+    /// alone. Returns the block contents seen by the I/O processor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates oracle violations.
+    pub fn io_output(&mut self, block: BlockAddr, paging: bool) -> Result<Box<[Word]>, SimError> {
+        let op = BusOp::IoOutput { paging };
+        let txn = BusTxn { op, block, requester: AgentId::Io, high_priority: false };
+        self.stats.bus.txns += 1;
+        *self.stats.bus.by_op.entry(op.mnemonic()).or_default() += 1;
+        let mut summary = SnoopSummary::default();
+        let mut supplier: Option<usize> = None;
+        for j in 0..self.caches.len() {
+            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
+            let before = line.state;
+            let outcome = self.protocol.snoop(before, &txn);
+            line.state = outcome.next;
+            summary.absorb(&outcome.reply);
+            if outcome.reply.supplies_data {
+                supplier = Some(j);
+            }
+            if outcome.reply.flushes {
+                let data = line.data.clone();
+                line.clear_unit_dirty();
+                self.memory.write_block(block, &data);
+                self.stats.sources.flushes += 1;
+            }
+            let bd = before.descriptor();
+            if bd.is_valid() && !outcome.next.descriptor().is_valid() {
+                self.stats.bus.invalidations += 1;
+            }
+            if before != outcome.next {
+                self.push_state_change(CacheId(j), block, &before, &outcome.next, StateCause::Snoop);
+            }
+        }
+        let data = match supplier {
+            Some(j) => self.caches[j].lookup(block).expect("supplier has line").data.clone(),
+            None => self.memory.read_block(block),
+        };
+        let duration = self.timing.fetch_from_memory(self.geometry.words_per_block());
+        self.trace.push(self.now, Event::Bus { txn, summary, duration });
+        self.stats.bus.busy_cycles += duration;
+        self.bus_free_at = self.now.max(self.bus_free_at) + duration;
+        Ok(data)
+    }
+
+    /// Checks single-writer / single-source invariants on `block`.
+    fn check_block_invariants(&mut self, block: BlockAddr) -> Result<(), SimError> {
+        let Some(oracle) = &self.oracle else { return Ok(()) };
+        let mut holders = Vec::with_capacity(self.caches.len());
+        for (j, cache) in self.caches.iter().enumerate() {
+            let d = cache.state_of(block).descriptor();
+            if d.is_valid() || d.source {
+                holders.push((CacheId(j), d.can_write(), d.source));
+            }
+        }
+        let check = oracle.check_exclusivity(block, &holders);
+        match check {
+            Ok(()) => Ok(()),
+            Err(OracleViolation::DualSources { .. }) if !self.check_dual_sources => Ok(()),
+            Err(v) => Err(v.into()),
+        }
+    }
+
+    fn check_read(&mut self, cache: CacheId, addr: Addr, got: Word) -> Result<(), SimError> {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.check_read(cache, addr, got)?;
+        }
+        Ok(())
+    }
+
+    fn commit_write(&mut self, addr: Addr, value: Word) {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.commit_write(addr, value);
+        }
+    }
+
+    fn lock_oracle_acquire(&mut self, block: BlockAddr, cache: CacheId) -> Result<(), SimError> {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.acquire_lock(block, cache)?;
+        }
+        Ok(())
+    }
+
+    fn lock_oracle_release(&mut self, block: BlockAddr, cache: CacheId) -> Result<(), SimError> {
+        if let Some(oracle) = &mut self.oracle {
+            oracle.release_lock(block, cache)?;
+        }
+        Ok(())
+    }
+
+    fn push_state_change(
+        &mut self,
+        cache: CacheId,
+        block: BlockAddr,
+        from: &P::State,
+        to: &P::State,
+        cause: StateCause,
+    ) {
+        if self.trace.is_enabled() {
+            self.trace.push(
+                self.now,
+                Event::StateChange {
+                    cache,
+                    block,
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    cause,
+                },
+            );
+        }
+    }
+}
+
+/// Helper: treat `WriteWord` and `UpdateWord` uniformly for snooper data
+/// updates.
+trait NormalizeUpdate {
+    fn normalize_update(self) -> BusOp;
+}
+
+impl NormalizeUpdate for BusOp {
+    fn normalize_update(self) -> BusOp {
+        match self {
+            BusOp::UpdateWord { to_memory } => {
+                // UpdateWord always updates valid copies.
+                let _ = to_memory;
+                BusOp::WriteWord { target: UpdateTarget::ValidCopies }
+            }
+            // A memory-module RMW writes the word at memory; tag-matching
+            // copies are refreshed so protocols that keep them valid
+            // (Rudolph-Segall) stay coherent, and protocols that
+            // invalidate just refresh a dead copy harmlessly.
+            BusOp::MemoryRmw => BusOp::WriteWord { target: UpdateTarget::AllCopies },
+            other => other,
+        }
+    }
+}

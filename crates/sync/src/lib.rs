@@ -1,0 +1,26 @@
+//! Busy-wait synchronization schemes (Sections B.2, E.3, E.4) as
+//! processor-side state machines that workloads drive through the
+//! simulator.
+//!
+//! Three lock schemes are provided for comparison:
+//!
+//! * [`LockSchemeKind::CacheLock`] — the paper's cache-state locking: the
+//!   lock instruction is a special read, the unlock the final write, and
+//!   waiting is delegated to the busy-wait register (zero unsuccessful
+//!   retries reach the bus);
+//! * [`LockSchemeKind::TestAndSet`] — naive spinning on an atomic
+//!   test-and-set: every attempt is a bus transaction;
+//! * [`LockSchemeKind::TestAndTestAndSet`] — the classic improvement
+//!   (Censier & Feautrier's "loop on a one in its cache"): spin on cached
+//!   reads, retry the test-and-set only when the lock looks free.
+//!
+//! [`rmw`] implements the four atomic read-modify-write methods of
+//! Feature 6 at the level the software sees.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rmw;
+mod scheme;
+
+pub use scheme::{LockAcquire, LockSchemeKind, LockSchemeStats, LockStep};

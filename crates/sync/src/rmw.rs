@@ -1,0 +1,141 @@
+//! The four methods for serializing processor atomic read-modify-write
+//! instructions (Feature 6, Section F.3), as the software sees them.
+//!
+//! Methods 1, 2 and 4 are single-operation from the processor's
+//! perspective — the protocol and engine serialize them (hold the memory
+//! module, fetch-and-hold the cache, or use the lock state respectively),
+//! so they are expressed as a single [`ProcOp::rmw`].
+//!
+//! Method 3 — **optimistic abort** — is a software protocol: read the word
+//! normally, compute, then write; if the *write* misses, the block was
+//! stolen between read and write, atomicity is violated, and the
+//! instruction aborts and retries. [`OptimisticRmw`] implements that retry
+//! machine; experiment harnesses use it to measure the abort rate.
+
+use mcs_model::{Addr, ProcOp, Word};
+use mcs_sim::AccessResult;
+
+/// The next step of an optimistic (method 3) read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwStep {
+    /// Issue this operation.
+    Issue(ProcOp),
+    /// The RMW committed; the carried value is what the read observed.
+    Done(Word),
+}
+
+/// Method 3: optimistic read-modify-write with abort on a stolen block.
+#[derive(Debug, Clone)]
+pub struct OptimisticRmw {
+    addr: Addr,
+    store: Word,
+    phase: Phase,
+    read_value: Word,
+    aborts: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start,
+    Reading,
+    Writing,
+    Done,
+}
+
+impl OptimisticRmw {
+    /// An RMW that will store `store` at `addr`.
+    pub fn new(addr: Addr, store: Word) -> Self {
+        OptimisticRmw { addr, store, phase: Phase::Start, read_value: Word(0), aborts: 0 }
+    }
+
+    /// Number of aborted attempts so far.
+    pub fn aborts(&self) -> u32 {
+        self.aborts
+    }
+
+    /// The first operation: a plain read (no bus holding, no privilege).
+    pub fn start(&mut self) -> ProcOp {
+        self.phase = Phase::Reading;
+        ProcOp::read(self.addr)
+    }
+
+    /// Feeds a completion; returns the next step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if driven before `start` or after completion.
+    pub fn on_complete(&mut self, result: &AccessResult) -> RmwStep {
+        match self.phase {
+            Phase::Reading => {
+                self.read_value = result.value.unwrap_or(Word(0));
+                self.phase = Phase::Writing;
+                // The conditional store: performed only if write privilege
+                // is still held; aborted (without touching the bus or the
+                // data) otherwise.
+                RmwStep::Issue(ProcOp::write_if_owned(self.addr, self.store))
+            }
+            Phase::Writing => {
+                if result.aborted {
+                    // The block was stolen between read and write; the
+                    // cache dropped the pending write. Abort and retry the
+                    // whole instruction.
+                    self.aborts += 1;
+                    self.phase = Phase::Reading;
+                    RmwStep::Issue(ProcOp::read(self.addr))
+                } else {
+                    // The store was performed while the block stayed
+                    // continuously valid since the read: atomic.
+                    self.phase = Phase::Done;
+                    RmwStep::Done(self.read_value)
+                }
+            }
+            phase => unreachable!("optimistic rmw misuse in {phase:?}"),
+        }
+    }
+
+    /// Whether the RMW committed.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(value: u64, hit: bool) -> AccessResult {
+        AccessResult { value: Some(Word(value)), hit, retries: 0, latency: 1, aborted: false }
+    }
+
+    fn aborted() -> AccessResult {
+        AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true }
+    }
+
+    #[test]
+    fn commits_when_write_hits() {
+        let mut m = OptimisticRmw::new(Addr(4), Word(1));
+        assert_eq!(m.start(), ProcOp::read(Addr(4)));
+        let step = m.on_complete(&res(0, false)); // read (miss is fine)
+        assert_eq!(step, RmwStep::Issue(ProcOp::write_if_owned(Addr(4), Word(1))));
+        let step = m.on_complete(&res(0, true)); // write performed -> atomic
+        assert_eq!(step, RmwStep::Done(Word(0)));
+        assert!(m.is_done());
+        assert_eq!(m.aborts(), 0);
+    }
+
+    #[test]
+    fn aborts_and_retries_when_block_stolen() {
+        let mut m = OptimisticRmw::new(Addr(4), Word(1));
+        m.start();
+        m.on_complete(&res(5, false));
+        // The block was stolen between read and write: the store aborts.
+        let step = m.on_complete(&aborted());
+        assert_eq!(step, RmwStep::Issue(ProcOp::read(Addr(4))));
+        assert_eq!(m.aborts(), 1);
+        // Second attempt succeeds.
+        let step = m.on_complete(&res(9, true)); // re-read (hit)
+        assert_eq!(step, RmwStep::Issue(ProcOp::write_if_owned(Addr(4), Word(1))));
+        let step = m.on_complete(&res(0, true));
+        assert_eq!(step, RmwStep::Done(Word(9)));
+    }
+}

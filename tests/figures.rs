@@ -1,0 +1,69 @@
+//! Integration test: every figure of the paper regenerates successfully
+//! (each `figN` asserts its scenario's states and bus actions internally).
+
+use mcs_bench::figures;
+
+#[test]
+fn figure_1_unshared_read_miss() {
+    figures::fig1();
+}
+
+#[test]
+fn figure_2_no_source_read() {
+    figures::fig2();
+}
+
+#[test]
+fn figure_3_no_source_write() {
+    figures::fig3();
+}
+
+#[test]
+fn figure_4_cache_to_cache_transfer() {
+    figures::fig4();
+}
+
+#[test]
+fn figure_5_write_privilege_only() {
+    figures::fig5();
+}
+
+#[test]
+fn figure_6_locking_a_block() {
+    figures::fig6();
+}
+
+#[test]
+fn figure_7_requesting_locked_block() {
+    figures::fig7();
+}
+
+#[test]
+fn figure_8_unlocking_a_block() {
+    figures::fig8();
+}
+
+#[test]
+fn figure_9_end_busy_wait() {
+    figures::fig9();
+}
+
+#[test]
+fn figure_10_state_transitions() {
+    let f = figures::fig10();
+    assert!(f.body.contains("Snoop arcs"));
+    assert!(f.body.contains("Completion arcs"));
+}
+
+#[test]
+fn figure_11_aquarius() {
+    let f = figures::fig11();
+    assert!(f.body.contains("sync-bus share"));
+}
+
+#[test]
+fn all_figures_in_order() {
+    let figs = figures::all();
+    let numbers: Vec<u32> = figs.iter().map(|f| f.number).collect();
+    assert_eq!(numbers, (1..=11).collect::<Vec<_>>());
+}

@@ -1,0 +1,208 @@
+//! Property-based tests (proptest): arbitrary operation sequences preserve
+//! the coherence oracles on every protocol; structural invariants of the
+//! cache and the busy-wait register hold for arbitrary inputs.
+
+use mcs::cache::{BusyWaitRegister, BwPhase, Cache, CacheConfig};
+use mcs::core::{with_protocol, ProtocolKind};
+use mcs::model::{Addr, BlockAddr, LineState, Privilege, ProcId, ProcOp, StateDescriptor, Word};
+use mcs::sim::{System, SystemConfig};
+use proptest::prelude::*;
+
+/// An abstract op for generation.
+#[derive(Debug, Clone, Copy)]
+enum GenOp {
+    Read(u8),
+    Write(u8),
+    Rmw(u8),
+    ReadForWrite(u8),
+}
+
+fn gen_op() -> impl Strategy<Value = GenOp> {
+    prop_oneof![
+        (0u8..24).prop_map(GenOp::Read),
+        (0u8..24).prop_map(GenOp::Write),
+        (0u8..24).prop_map(GenOp::Rmw),
+        (0u8..24).prop_map(GenOp::ReadForWrite),
+    ]
+}
+
+fn to_script(ops: &[(u8, GenOp)], serial_base: u64) -> Vec<(ProcId, ProcOp)> {
+    let mut serial = serial_base;
+    ops.iter()
+        .map(|&(p, op)| {
+            serial += 1;
+            let proc = ProcId((p % 3) as usize);
+            let op = match op {
+                GenOp::Read(a) => ProcOp::read(Addr(a as u64)),
+                GenOp::Write(a) => ProcOp::write(Addr(a as u64), Word(serial)),
+                GenOp::Rmw(a) => ProcOp::rmw(Addr(a as u64), Word(serial)),
+                GenOp::ReadForWrite(a) => ProcOp::read_for_write(Addr(a as u64)),
+            };
+            (proc, op)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The coherence oracle holds for arbitrary op sequences on every
+    /// protocol (the engine checks latest-version reads, single writer and
+    /// single source on every commit).
+    #[test]
+    fn arbitrary_sequences_stay_coherent(ops in prop::collection::vec((0u8..3, gen_op()), 1..120)) {
+        for kind in ProtocolKind::ALL {
+            let words = if kind.requires_word_blocks() { 1 } else { 4 };
+            let script = to_script(&ops, 0);
+            with_protocol!(kind, p => {
+                let cache = CacheConfig::fully_associative(16, words).unwrap();
+                let mut sys = System::new(p, SystemConfig::new(3).with_cache(cache)).unwrap();
+                sys.run_script(script, 2_000_000)
+                    .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            });
+        }
+    }
+
+    /// Determinism: the same script yields identical statistics.
+    #[test]
+    fn runs_are_deterministic(ops in prop::collection::vec((0u8..3, gen_op()), 1..60)) {
+        for kind in [ProtocolKind::BitarDespain, ProtocolKind::Dragon] {
+            let words = if kind.requires_word_blocks() { 1 } else { 4 };
+            let script = to_script(&ops, 0);
+            let stats = |script: Vec<(ProcId, ProcOp)>| with_protocol!(kind, p => {
+                let cache = CacheConfig::fully_associative(16, words).unwrap();
+                let mut sys = System::new(p, SystemConfig::new(3).with_cache(cache)).unwrap();
+                let (_, s) = sys.run_script(script, 2_000_000).unwrap();
+                s
+            });
+            prop_assert_eq!(stats(script.clone()), stats(script));
+        }
+    }
+
+    /// Cache structural invariants: residency never exceeds capacity, a tag
+    /// appears at most once, and lookups always return the inserted tag.
+    #[test]
+    fn cache_structure_invariants(blocks in prop::collection::vec(0u64..64, 1..200)) {
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        struct Tiny(bool);
+        impl std::fmt::Display for Tiny {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", if self.0 { "V" } else { "I" })
+            }
+        }
+        impl LineState for Tiny {
+            fn invalid() -> Self { Tiny(false) }
+            fn descriptor(&self) -> StateDescriptor {
+                if self.0 {
+                    StateDescriptor {
+                        privilege: Some(Privilege::Read),
+                        source: false,
+                        dirty: false,
+                        waiter: false,
+                    }
+                } else {
+                    StateDescriptor::INVALID
+                }
+            }
+            fn all() -> &'static [Self] { &[Tiny(false), Tiny(true)] }
+        }
+
+        let config = CacheConfig::set_associative(4, 2, 4).unwrap();
+        let mut cache: Cache<Tiny> = Cache::new(config);
+        for &b in &blocks {
+            let (line, _) = cache.ensure_frame(BlockAddr(b)).unwrap();
+            line.state = Tiny(true);
+            prop_assert!(cache.resident() <= 8);
+            prop_assert_eq!(cache.lookup(BlockAddr(b)).map(|l| l.tag), Some(BlockAddr(b)));
+        }
+        // No duplicate tags.
+        let mut tags: Vec<_> = cache.lines().map(|l| l.tag).collect();
+        let before = tags.len();
+        tags.sort();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), before);
+    }
+
+    /// The busy-wait register never wants the bus unless it was armed and
+    /// saw the matching unlock, and relocks always return it to armed.
+    #[test]
+    fn busy_wait_register_protocol(events in prop::collection::vec((0u8..4, 0u64..4), 0..60)) {
+        let mut reg = BusyWaitRegister::new();
+        let mut armed_on: Option<BlockAddr> = None;
+        let mut woken = false;
+        for (kind, block) in events {
+            let block = BlockAddr(block);
+            match kind {
+                0 => {
+                    reg.arm(block);
+                    armed_on = Some(block);
+                    woken = false;
+                }
+                1 => {
+                    let was = reg.observe_unlock(block);
+                    if was {
+                        prop_assert_eq!(armed_on, Some(block));
+                        woken = true;
+                    }
+                }
+                2 => {
+                    reg.observe_relock(block);
+                    if woken && armed_on == Some(block) {
+                        woken = false;
+                    }
+                }
+                _ => {
+                    reg.disarm();
+                    armed_on = None;
+                    woken = false;
+                }
+            }
+            prop_assert_eq!(reg.wants_bus(), woken && armed_on.is_some());
+            match reg.phase() {
+                BwPhase::Idle => prop_assert!(armed_on.is_none()),
+                BwPhase::Armed | BwPhase::Woken => prop_assert!(armed_on.is_some()),
+            }
+        }
+    }
+
+    /// Every protocol's proc_access is total and consistent: a Hit is only
+    /// ever returned from a state that can satisfy the access locally.
+    #[test]
+    fn proc_access_hits_require_privilege(kind_idx in 0usize..10) {
+        use mcs::model::{AccessKind, ProcAction, Protocol};
+        let kind = ProtocolKind::ALL[kind_idx];
+        with_protocol!(kind, p => {
+            fn states_of<P: Protocol>(_: &P) -> &'static [P::State] {
+                <P::State as LineState>::all()
+            }
+            for &state in states_of(&p) {
+                for access in [
+                    AccessKind::Read,
+                    AccessKind::Write,
+                    AccessKind::ReadForWrite,
+                    AccessKind::LockRead,
+                    AccessKind::UnlockWrite,
+                    AccessKind::Rmw,
+                    AccessKind::WriteNoFetch,
+                ] {
+                    if let ProcAction::Hit { next } = p.proc_access(state, access) {
+                        let d = state.descriptor();
+                        prop_assert!(
+                            d.is_valid(),
+                            "{kind}: hit from invalid state on {access}"
+                        );
+                        if access.is_write() {
+                            prop_assert!(
+                                d.can_write(),
+                                "{kind}: write hit without write privilege from {state}"
+                            );
+                        }
+                        // Writes dirty the line or keep a locked/dirty one.
+                        let nd = next.descriptor();
+                        prop_assert!(nd.is_valid(), "{kind}: hit must stay valid");
+                    }
+                }
+            }
+        });
+    }
+}
