@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Offline CI for the mcs workspace: release build, full test suite
+# (including the perf smoke tests and the engine equivalence suite), and
+# clippy with warnings denied. No network access required or attempted.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --offline
+cargo test -q --offline --workspace
+cargo clippy --workspace --all-targets --offline -- -D warnings

@@ -1,0 +1,271 @@
+//! Engine benchmark: measures what the event-driven time-skipping engine
+//! and the threaded sweep runner buy over the original configuration
+//! (cycle-accurate stepping, serial grid loops), and writes the numbers to
+//! `BENCH_engine.json`.
+//!
+//! Two kinds of measurement:
+//!
+//! * **Workload throughput** — simulated cycles per wall second for one
+//!   representative run of each workload family (critical-section,
+//!   random-sharing, producer-consumer), before (cycle-accurate) and
+//!   after (event-driven). Both modes produce bit-identical statistics
+//!   (asserted here and in `crates/sim/tests/equivalence.rs`); only wall
+//!   time differs. Dense-event workloads (random sharing, in-cache spin
+//!   loops) see little gain — the engine targets compute- and
+//!   wait-dominated phases, where it skips straight between events.
+//! * **Sweep wall-clock** — the E2 (locking cost) and E3 (efficient busy
+//!   wait) experiment grids at benchmark scale: the same contenders and
+//!   sweep axes, with think time and iterations raised so every grid
+//!   point simulates ~0.5M cycles and the compute/synchronization ratio
+//!   resembles real critical-section code rather than the deliberately
+//!   contention-heavy test settings. "Before" runs the grid serially on
+//!   the cycle-accurate engine; "after" runs it on the event-driven
+//!   engine fanned out over `sweep` threads.
+//!
+//! Reproduce with `cargo run --release -p mcs-bench --bin bench_engine`.
+
+use mcs_bench::experiments::{self, e2_locking, e3_busywait, run_cs};
+use mcs_bench::sweep;
+use mcs_cache::CacheConfig;
+use mcs_core::ProtocolKind;
+use mcs_sim::{EngineMode, System, SystemConfig};
+use mcs_sync::LockSchemeKind;
+use mcs_workloads::{
+    CriticalSectionWorkload, ProducerConsumerWorkload, RandomSharingConfig, RandomSharingWorkload,
+};
+use std::time::Instant;
+
+/// Think time for benchmark-scale critical sections. The stock E2/E3 test
+/// settings (think 10-30) maximize contention to make the paper's claims
+/// visible; for engine throughput we want sections embedded in realistic
+/// stretches of compute, which is exactly the regime time skipping serves.
+const BENCH_THINK: u64 = 3_000;
+
+struct Measurement {
+    name: &'static str,
+    detail: String,
+    sim_cycles: u64,
+    before_s: f64,
+    after_s: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.before_s / self.after_s
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+// ---- workload throughput ------------------------------------------------
+
+fn critical_section(mode: EngineMode) -> u64 {
+    let cache = CacheConfig::fully_associative(64, 4).expect("valid cache");
+    let mut w = CriticalSectionWorkload::builder()
+        .scheme(LockSchemeKind::CacheLock)
+        .words_per_block(4)
+        .locks(1)
+        .payload_blocks(1)
+        .payload_reads(2)
+        .payload_writes(2)
+        .think_cycles(BENCH_THINK)
+        .iterations(500)
+        .build();
+    let cfg = SystemConfig::new(4).with_cache(cache).with_engine(mode);
+    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
+    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+}
+
+fn random_sharing(mode: EngineMode) -> u64 {
+    let cfg = SystemConfig::new(4).with_engine(mode);
+    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
+    let mut w = RandomSharingWorkload::new(RandomSharingConfig {
+        refs_per_proc: 100_000,
+        ..Default::default()
+    });
+    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+}
+
+fn producer_consumer(mode: EngineMode) -> u64 {
+    let cfg = SystemConfig::new(4).with_engine(mode);
+    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
+    let mut w = ProducerConsumerWorkload::new(10_000, 3, 100);
+    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+}
+
+fn measure_workload(
+    name: &'static str,
+    detail: &str,
+    run: impl Fn(EngineMode) -> u64,
+) -> Measurement {
+    let (before_cycles, before_s) = time(|| run(EngineMode::CycleAccurate));
+    let (after_cycles, after_s) = time(|| run(EngineMode::EventDriven));
+    assert_eq!(before_cycles, after_cycles, "{name}: engine modes must agree on cycles");
+    Measurement { name, detail: detail.to_string(), sim_cycles: after_cycles, before_s, after_s }
+}
+
+// ---- sweep wall-clock ---------------------------------------------------
+
+/// One E2-shaped grid point at benchmark scale; returns simulated cycles.
+fn e2_point(kind: ProtocolKind, scheme: LockSchemeKind) -> u64 {
+    run_cs(kind, 4, scheme, 4, 64, |b| {
+        b.locks(1)
+            .payload_blocks(1)
+            .payload_reads(2)
+            .payload_writes(2)
+            .think_cycles(BENCH_THINK)
+            .iterations(400)
+    })
+    .stats
+    .cycles
+}
+
+fn e2_grid() -> u64 {
+    sweep::sweep(&e2_locking::CONTENDERS, |_, &(kind, scheme)| e2_point(kind, scheme))
+        .into_iter()
+        .sum()
+}
+
+/// One E3-shaped grid point at benchmark scale; returns simulated cycles.
+fn e3_point(kind: ProtocolKind, scheme: LockSchemeKind, procs: usize) -> u64 {
+    run_cs(kind, procs, scheme, 4, 64, |b| {
+        b.locks(1)
+            .payload_blocks(1)
+            .payload_reads(1)
+            .payload_writes(2)
+            .think_cycles(BENCH_THINK)
+            .iterations(150)
+    })
+    .stats
+    .cycles
+}
+
+fn e3_grid() -> u64 {
+    let contenders = [
+        (ProtocolKind::BitarDespain, LockSchemeKind::CacheLock),
+        (ProtocolKind::Illinois, LockSchemeKind::TestAndSet),
+        (ProtocolKind::Illinois, LockSchemeKind::TestAndTestAndSet),
+    ];
+    let grid: Vec<(ProtocolKind, LockSchemeKind, usize)> = contenders
+        .iter()
+        .flat_map(|&(kind, scheme)| {
+            e3_busywait::PROC_SWEEP.iter().map(move |&procs| (kind, scheme, procs))
+        })
+        .collect();
+    sweep::sweep(&grid, |_, &(kind, scheme, procs)| e3_point(kind, scheme, procs))
+        .into_iter()
+        .sum()
+}
+
+fn measure_sweep(name: &'static str, detail: &str, grid: impl Fn() -> u64) -> Measurement {
+    // Before: the original configuration — serial grid, per-cycle stepping.
+    sweep::set_max_threads(1);
+    experiments::force_cycle_accurate(true);
+    let (before_cycles, before_s) = time(&grid);
+    // After: threaded grid on the event-driven engine.
+    experiments::force_cycle_accurate(false);
+    sweep::set_max_threads(0);
+    let (after_cycles, after_s) = time(&grid);
+    assert_eq!(before_cycles, after_cycles, "{name}: engine modes must agree on cycles");
+    Measurement { name, detail: detail.to_string(), sim_cycles: after_cycles, before_s, after_s }
+}
+
+// ---- report -------------------------------------------------------------
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"detail\": \"{}\",\n",
+            "      \"sim_cycles\": {},\n",
+            "      \"before_wall_s\": {:.6},\n",
+            "      \"after_wall_s\": {:.6},\n",
+            "      \"before_cycles_per_wall_s\": {:.0},\n",
+            "      \"after_cycles_per_wall_s\": {:.0},\n",
+            "      \"speedup\": {:.2}\n",
+            "    }}"
+        ),
+        m.name,
+        m.detail,
+        m.sim_cycles,
+        m.before_s,
+        m.after_s,
+        m.sim_cycles as f64 / m.before_s,
+        m.sim_cycles as f64 / m.after_s,
+        m.speedup(),
+    )
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("engine benchmark: before = cycle-accurate + serial sweep, after = event-driven + {threads}-thread sweep");
+
+    let workloads = vec![
+        measure_workload(
+            "critical_section",
+            "Bitar-Despain cache lock, 4 procs, think 3000, 500 iterations",
+            critical_section,
+        ),
+        measure_workload(
+            "random_sharing",
+            "Smith-calibrated random sharing, 4 procs, 100k refs/proc (event-dense)",
+            random_sharing,
+        ),
+        measure_workload(
+            "producer_consumer",
+            "binding passing, 2 pairs, 10k rounds, produce 100 (consumer spins in cache)",
+            producer_consumer,
+        ),
+    ];
+    for m in &workloads {
+        println!(
+            "  workload {:>18}: {:>9} cycles  before {:.3}s  after {:.3}s  speedup {:.1}x",
+            m.name, m.sim_cycles, m.before_s, m.after_s, m.speedup()
+        );
+    }
+
+    let sweeps = vec![
+        measure_sweep(
+            "e2_locking_sweep",
+            "E2 contender grid (4 points), benchmark scale: think 3000, 400 iterations",
+            e2_grid,
+        ),
+        measure_sweep(
+            "e3_busywait_sweep",
+            "E3 scheme x processor grid (12 points), benchmark scale: think 3000, 150 iterations",
+            e3_grid,
+        ),
+    ];
+    for m in &sweeps {
+        println!(
+            "  sweep    {:>18}: {:>9} cycles  before {:.3}s  after {:.3}s  speedup {:.1}x",
+            m.name, m.sim_cycles, m.before_s, m.after_s, m.speedup()
+        );
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(
+        "  \"before\": \"cycle-accurate engine, serial grid\",\n  \"after\": \"event-driven engine, threaded sweep\",\n",
+    );
+    out.push_str(
+        "  \"reproduce\": \"cargo run --release -p mcs-bench --bin bench_engine\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    let entries: Vec<String> = workloads.iter().map(json_entry).collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ],\n  \"sweeps\": [\n");
+    let entries: Vec<String> = sweeps.iter().map(json_entry).collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
+    std::fs::write(&path, out).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

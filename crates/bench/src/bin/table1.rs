@@ -2,14 +2,13 @@
 //! Write-In (Write-Back), Cache-Synchronization Schemes" — from the
 //! protocol implementations.
 
+use mcs_bench::sweep::sweep;
 use mcs_core::table1::{column_for, render};
 use mcs_core::{with_protocol, ProtocolKind};
 
 fn main() {
-    let columns: Vec<_> = ProtocolKind::EVOLUTION
-        .iter()
-        .map(|kind| with_protocol!(*kind, p => column_for(&p)))
-        .collect();
+    let columns =
+        sweep(&ProtocolKind::EVOLUTION, |_, kind| with_protocol!(*kind, p => column_for(&p)));
     print!("{}", render(&columns));
     println!();
     println!("note: Illinois's shared state appears on the `Read, Clean` row with source");

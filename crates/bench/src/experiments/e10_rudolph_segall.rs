@@ -34,16 +34,22 @@ pub fn run() -> Report {
         &["scheme", "processors", "bus-cycles/section", "failed-attempts/acquire"],
     );
     report.note("Both schemes avoid blind re-fetch loops; only the register scheme reaches exactly zero");
-    for (kind, scheme, label) in CONTENDERS {
-        for procs in PROC_SWEEP {
-            let out = measure_point(kind, scheme, procs);
-            report.row(vec![
-                label.to_string(),
-                procs.to_string(),
-                f(out.cycles_per_section),
-                f(out.failed_per_acquire),
-            ]);
-        }
+    let grid: Vec<(ProtocolKind, LockSchemeKind, &str, usize)> = CONTENDERS
+        .iter()
+        .flat_map(|&(kind, scheme, label)| {
+            PROC_SWEEP.iter().map(move |&procs| (kind, scheme, label, procs))
+        })
+        .collect();
+    for ((_, _, label, procs), out) in grid.iter().zip(crate::sweep::sweep(
+        &grid,
+        |_, &(kind, scheme, _, procs)| measure_point(kind, scheme, procs),
+    )) {
+        report.row(vec![
+            label.to_string(),
+            procs.to_string(),
+            f(out.cycles_per_section),
+            f(out.failed_per_acquire),
+        ]);
     }
     report
 }

@@ -42,16 +42,20 @@ pub fn run() -> Report {
         &["protocol", "k-writes", "bus-cycles/section", "bus-txns/section"],
     );
     report.note("Section D.2: write-through loses once an atom is written more than a few times per hold");
-    for (kind, scheme) in CONTENDERS {
-        for k in K_SWEEP {
-            let out = measure(kind, scheme, k);
-            report.row(vec![
-                kind.id().to_string(),
-                k.to_string(),
-                f(out.bus_cycles_per_section()),
-                f(out.bus_txns_per_section()),
-            ]);
-        }
+    let grid: Vec<(ProtocolKind, LockSchemeKind, usize)> = CONTENDERS
+        .iter()
+        .flat_map(|&(kind, scheme)| K_SWEEP.iter().map(move |&k| (kind, scheme, k)))
+        .collect();
+    for ((kind, _, k), out) in grid
+        .iter()
+        .zip(crate::sweep::sweep(&grid, |_, &(kind, scheme, k)| measure(kind, scheme, k)))
+    {
+        report.row(vec![
+            kind.id().to_string(),
+            k.to_string(),
+            f(out.bus_cycles_per_section()),
+            f(out.bus_txns_per_section()),
+        ]);
     }
     report
 }

@@ -51,8 +51,9 @@ pub fn run() -> Report {
         ],
     );
     report.note("Section E.3: cache-state locking and unlocking usually occur in zero time");
-    for (kind, scheme) in CONTENDERS {
-        let out = measure(kind, scheme);
+    let outcomes =
+        crate::sweep::sweep(&CONTENDERS, |_, &(kind, scheme)| (kind, scheme, measure(kind, scheme)));
+    for (kind, scheme, out) in outcomes {
         report.row(vec![
             kind.id().to_string(),
             scheme.id().to_string(),

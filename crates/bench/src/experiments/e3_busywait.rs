@@ -51,20 +51,33 @@ pub fn run() -> Report {
         (ProtocolKind::Illinois, LockSchemeKind::TestAndSet),
         (ProtocolKind::Illinois, LockSchemeKind::TestAndTestAndSet),
     ];
-    for (kind, scheme) in contenders {
-        for procs in PROC_SWEEP {
-            let out = measure(kind, scheme, procs);
-            report.row(vec![
-                scheme.id().to_string(),
-                procs.to_string(),
-                f(out.failed_attempts_per_acquire()),
-                f(out.bus_cycles_per_section()),
-            ]);
-        }
+    // Flatten the scheme x processor-count grid into one parallel sweep;
+    // row order stays contender-major exactly as the serial loops emitted.
+    let grid: Vec<(ProtocolKind, LockSchemeKind, usize)> = contenders
+        .iter()
+        .flat_map(|&(kind, scheme)| PROC_SWEEP.iter().map(move |&procs| (kind, scheme, procs)))
+        .collect();
+    for ((_, scheme, procs), out) in grid
+        .iter()
+        .zip(crate::sweep::sweep(&grid, |_, &(kind, scheme, procs)| measure(kind, scheme, procs)))
+    {
+        report.row(vec![
+            scheme.id().to_string(),
+            procs.to_string(),
+            f(out.failed_attempts_per_acquire()),
+            f(out.bus_cycles_per_section()),
+        ]);
     }
     // Purpose 2: work while waiting.
-    let spin = measure(ProtocolKind::BitarDespain, LockSchemeKind::CacheLock, 6);
-    let work = measure_work_while_waiting(6);
+    let mut pair = crate::sweep::sweep(&[false, true], |_, &ready_section| {
+        if ready_section {
+            measure_work_while_waiting(6)
+        } else {
+            measure(ProtocolKind::BitarDespain, LockSchemeKind::CacheLock, 6)
+        }
+    });
+    let work = pair.pop().expect("two sweep points");
+    let spin = pair.pop().expect("two sweep points");
     let useful = |o: &CsOutcome| {
         let wait: u64 = o.stats.per_proc.iter().map(|p| p.lock_wait_cycles).sum();
         let useful: u64 = o.stats.per_proc.iter().map(|p| p.useful_wait_cycles).sum();

@@ -22,14 +22,33 @@ pub mod e9_transfer_units;
 use mcs_cache::CacheConfig;
 use mcs_core::{with_protocol, ProtocolKind};
 use mcs_model::Stats;
-use mcs_sim::{System, SystemConfig};
+use mcs_sim::{EngineMode, System, SystemConfig};
 use mcs_sync::{LockSchemeKind, LockSchemeStats};
 use mcs_workloads::{
     CriticalSectionBuilder, CriticalSectionWorkload, RandomSharingConfig, RandomSharingWorkload,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Hard ceiling for experiment runs; hitting it means a deadlock.
 const MAX_CYCLES: u64 = 30_000_000;
+
+static CYCLE_ACCURATE: AtomicBool = AtomicBool::new(false);
+
+/// Forces subsequent experiment runs onto the cycle-accurate reference
+/// engine instead of the event-driven default. Results are bit-identical
+/// either way (see `crates/sim/tests/equivalence.rs`); the engine benchmark
+/// uses this to time the pre-optimization baseline.
+pub fn force_cycle_accurate(on: bool) {
+    CYCLE_ACCURATE.store(on, Ordering::Relaxed);
+}
+
+fn engine_mode() -> EngineMode {
+    if CYCLE_ACCURATE.load(Ordering::Relaxed) {
+        EngineMode::CycleAccurate
+    } else {
+        EngineMode::EventDriven
+    }
+}
 
 /// Outcome of a critical-section run.
 #[derive(Debug, Clone)]
@@ -92,7 +111,7 @@ pub fn run_cs(
     );
     let mut workload = builder.build();
     with_protocol!(kind, p => {
-        let mut sys = System::new(p, SystemConfig::new(procs).with_cache(cache))
+        let mut sys = System::new(p, SystemConfig::new(procs).with_cache(cache).with_engine(engine_mode()))
             .expect("valid system");
         let stats = sys
             .run_workload(&mut workload, MAX_CYCLES)
@@ -117,7 +136,7 @@ pub fn run_random(
     let cache = CacheConfig::fully_associative(cache_blocks, words_per_block)
         .expect("valid cache geometry");
     with_protocol!(kind, p => {
-        let mut sys = System::new(p, SystemConfig::new(procs).with_cache(cache))
+        let mut sys = System::new(p, SystemConfig::new(procs).with_cache(cache).with_engine(engine_mode()))
             .expect("valid system");
         sys.run_workload(RandomSharingWorkload::new(cfg), MAX_CYCLES)
             .unwrap_or_else(|e| panic!("{kind} random run failed: {e}"))
@@ -126,21 +145,24 @@ pub fn run_random(
 
 /// All experiment reports, in order, for the `exp` binary.
 pub fn all() -> Vec<crate::report::Report> {
-    vec![
-        e1_shared_data::run(),
-        e2_locking::run(),
-        e3_busywait::run(),
-        e4_dirty_status::run(),
-        e5_invalidation_signal::run(),
-        e6_read_for_write::run(),
-        e7_source_policy::run(),
-        e8_write_no_fetch::run(),
-        e9_transfer_units::run(),
-        e10_rudolph_segall::run(),
-        e11_directory::run(),
-        e12_rmw_methods::run(),
-        e13_berkeley_wc::run(),
-    ]
+    // Each experiment is an independent deterministic simulation; fan the
+    // thirteen runners out over threads, reports returned in E1..E13 order.
+    let runners: [fn() -> crate::report::Report; 13] = [
+        e1_shared_data::run,
+        e2_locking::run,
+        e3_busywait::run,
+        e4_dirty_status::run,
+        e5_invalidation_signal::run,
+        e6_read_for_write::run,
+        e7_source_policy::run,
+        e8_write_no_fetch::run,
+        e9_transfer_units::run,
+        e10_rudolph_segall::run,
+        e11_directory::run,
+        e12_rmw_methods::run,
+        e13_berkeley_wc::run,
+    ];
+    crate::sweep::sweep(&runners, |_, run| run())
 }
 
 /// Looks up an experiment by id (`e1`…`e10`).
@@ -208,7 +230,7 @@ pub fn run_cs_with_directory(
     with_protocol!(kind, p => {
         let mut sys = System::new(
             p,
-            SystemConfig::new(procs).with_cache(cache).with_directory(duality),
+            SystemConfig::new(procs).with_cache(cache).with_directory(duality).with_engine(engine_mode()),
         )
         .expect("valid system");
         sys.run_workload(&mut workload, MAX_CYCLES)

@@ -308,7 +308,9 @@ pub fn fig11() -> Figure {
 
 /// All figures in order.
 pub fn all() -> Vec<Figure> {
-    vec![fig1(), fig2(), fig3(), fig4(), fig5(), fig6(), fig7(), fig8(), fig9(), fig10(), fig11()]
+    let builders: [fn() -> Figure; 11] =
+        [fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11];
+    crate::sweep::sweep(&builders, |_, build| build())
 }
 
 #[cfg(test)]

@@ -18,3 +18,4 @@
 pub mod experiments;
 pub mod figures;
 pub mod report;
+pub mod sweep;

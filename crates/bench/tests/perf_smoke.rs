@@ -1,0 +1,33 @@
+//! Perf smoke: the experiment sweeps must stay fast. The budget is very
+//! generous (the E2 grid runs in well under a second on the event-driven
+//! engine) — this test only catches order-of-magnitude regressions such
+//! as the engine falling back to per-cycle stepping or a sweep point
+//! deadlocking its way to `MAX_CYCLES`.
+
+use std::time::{Duration, Instant};
+
+const BUDGET: Duration = Duration::from_secs(60);
+
+#[test]
+fn e2_locking_sweep_within_wall_budget() {
+    let start = Instant::now();
+    let report = mcs_bench::experiments::e2_locking::run();
+    let elapsed = start.elapsed();
+    assert_eq!(report.rows.len(), 4, "E2 must produce one row per contender");
+    assert!(
+        elapsed < BUDGET,
+        "E2 locking sweep took {elapsed:?}, over the {BUDGET:?} smoke budget"
+    );
+}
+
+#[test]
+fn e3_busywait_sweep_within_wall_budget() {
+    let start = Instant::now();
+    let report = mcs_bench::experiments::e3_busywait::run();
+    let elapsed = start.elapsed();
+    assert_eq!(report.rows.len(), 12, "E3 must produce the 3x4 contention grid");
+    assert!(
+        elapsed < BUDGET,
+        "E3 busy-wait sweep took {elapsed:?}, over the {BUDGET:?} smoke budget"
+    );
+}

@@ -35,6 +35,7 @@ pub mod error;
 pub mod features;
 pub mod ops;
 pub mod protocol;
+pub mod rng;
 pub mod stats;
 pub mod timing;
 pub mod trace;
@@ -51,6 +52,7 @@ pub use protocol::{
     CompleteOutcome, EvictAction, LineState, Privilege, ProcAction, Protocol, SnoopOutcome,
     StateDescriptor,
 };
+pub use rng::Rng64;
 pub use stats::{BusStats, DirectoryStats, LockStats, ProcStats, SourceStats, Stats};
 pub use timing::TimingConfig;
 pub use trace::{Event, StateCause, Trace};

@@ -3,6 +3,24 @@
 use mcs_cache::CacheConfig;
 use mcs_model::{DirectoryDuality, TimingConfig};
 
+/// How the engine advances simulated time.
+///
+/// Both modes produce **bit-identical** [`Stats`](mcs_model::Stats) and
+/// [`Trace`](mcs_model::Trace) output; the event-driven mode merely skips
+/// bus cycles on which nothing can happen. The cycle-accurate mode is kept
+/// as the reference implementation for the differential equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Jump `now` from event to event (next compute/transaction completion,
+    /// next arbitration slot, next idle-hint wakeup) and account the
+    /// intervening cycles as an interval. The default.
+    #[default]
+    EventDriven,
+    /// Advance one bus cycle at a time, re-scanning every processor each
+    /// cycle. Reference semantics for the equivalence tests.
+    CycleAccurate,
+}
+
 /// Configuration of one simulated full-broadcast system.
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -13,6 +31,7 @@ pub struct SystemConfig {
     trace: bool,
     oracle: bool,
     retry_bound: u32,
+    engine: EngineMode,
 }
 
 impl SystemConfig {
@@ -27,6 +46,7 @@ impl SystemConfig {
             trace: false,
             oracle: true,
             retry_bound: 10_000,
+            engine: EngineMode::default(),
         }
     }
 
@@ -68,6 +88,12 @@ impl SystemConfig {
         self
     }
 
+    /// Selects the time-advance engine (event-driven by default).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.processors
@@ -102,6 +128,11 @@ impl SystemConfig {
     pub fn retry_bound(&self) -> u32 {
         self.retry_bound
     }
+
+    /// The time-advance engine mode.
+    pub fn engine(&self) -> EngineMode {
+        self.engine
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +160,12 @@ mod tests {
         assert!(c.oracle());
         assert!(c.directory().is_none());
         assert_eq!(c.cache().capacity_blocks(), 64);
+        assert_eq!(c.engine(), EngineMode::EventDriven);
+    }
+
+    #[test]
+    fn engine_override() {
+        let c = SystemConfig::new(2).with_engine(EngineMode::CycleAccurate);
+        assert_eq!(c.engine(), EngineMode::CycleAccurate);
     }
 }

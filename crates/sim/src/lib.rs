@@ -40,7 +40,7 @@ mod oracle;
 mod system;
 mod workload;
 
-pub use config::SystemConfig;
+pub use config::{EngineMode, SystemConfig};
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
 pub use error::{OracleViolation, SimError};
 pub use memory::MainMemory;

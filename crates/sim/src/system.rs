@@ -13,14 +13,26 @@
 //! bus then stays busy for the transaction's computed duration. Because the
 //! single bus serializes the system, this is behaviourally faithful while
 //! keeping the simulation deterministic.
+//!
+//! # Time advance
+//!
+//! The engine runs in one of two [`EngineMode`]s. The cycle-accurate
+//! reference mode advances `now` one bus cycle at a time. The event-driven
+//! default computes the next *interesting* cycle — the earliest
+//! `Computing`/`InFlight` completion, the next arbitration slot (only when
+//! a request is actually queued), or a workload idle hint — and jumps
+//! straight there, converting the per-cycle busy/stall/lock-wait/useful-wait
+//! accounting into interval arithmetic. Both modes produce bit-identical
+//! [`Stats`] and [`Trace`] output (see `tests/equivalence.rs`); the
+//! event-driven mode merely skips the cycles on which nothing can happen.
 
-use crate::config::SystemConfig;
+use crate::config::{EngineMode, SystemConfig};
 use crate::error::{OracleViolation, SimError};
 use crate::memory::MainMemory;
 use crate::oracle::Oracle;
 use crate::workload::{AccessResult, ScriptWorkload, WaitBehavior, WorkItem, Workload};
 use mcs_cache::{BusyWaitRegister, Cache, DirectoryModel, EvictedLine};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use mcs_model::{
     AccessKind, Addr, AgentId, BlockAddr, BlockGeometry, BusOp, BusTxn, CacheId, CompleteOutcome,
     EvictAction, Event, LineState, Privilege, ProcAction, ProcId, ProcOp, Protocol, SnoopSummary,
@@ -73,7 +85,13 @@ pub struct System<P: Protocol> {
     phases: Vec<Phase>,
     /// Lock bits spilled to memory when a locked block had to be purged
     /// (Section E.3's minor modification): block -> (holder, waiter seen).
-    memory_locks: HashMap<BlockAddr, (CacheId, bool)>,
+    /// Ordered map so iteration order can never make the engine modes (or
+    /// two runs) diverge.
+    memory_locks: BTreeMap<BlockAddr, (CacheId, bool)>,
+    /// Per-processor wakeup hints from [`WorkItem::IdleUntil`], refreshed
+    /// on every poll; `u64::MAX` means "no hint".
+    idle_hints: Vec<u64>,
+    engine: EngineMode,
     now: u64,
     bus_free_at: u64,
     rr: usize,
@@ -110,7 +128,9 @@ impl<P: Protocol> System<P> {
             stats: Stats::new(n),
             trace: if config.trace() { Trace::enabled() } else { Trace::disabled() },
             phases: vec![Phase::Ready; n],
-            memory_locks: HashMap::new(),
+            memory_locks: BTreeMap::new(),
+            idle_hints: vec![u64::MAX; n],
+            engine: config.engine(),
             now: 0,
             bus_free_at: 0,
             rr: 0,
@@ -179,13 +199,7 @@ impl<P: Protocol> System<P> {
         mut workload: W,
         max_cycles: u64,
     ) -> Result<Stats, SimError> {
-        self.reset_phases();
-        let deadline = self.now + max_cycles;
-        while self.now < deadline {
-            if self.step(&mut workload)? {
-                break;
-            }
-        }
+        self.run_loop(&mut workload, max_cycles)?;
         self.sync_directory_stats();
         Ok(self.stats.clone())
     }
@@ -201,17 +215,35 @@ impl<P: Protocol> System<P> {
         script: Vec<(ProcId, ProcOp)>,
         max_cycles: u64,
     ) -> Result<(ScriptWorkload, Stats), SimError> {
-        self.reset_phases();
         let mut w = ScriptWorkload::new(script);
-        let deadline = self.now + max_cycles;
-        while self.now < deadline {
-            if self.step(&mut w)? {
-                break;
-            }
-        }
+        self.run_loop(&mut w, max_cycles)?;
         self.sync_directory_stats();
         let stats = self.stats.clone();
         Ok((w, stats))
+    }
+
+    /// The main time loop: step the phase machines, then advance `now` —
+    /// by one cycle in [`EngineMode::CycleAccurate`], or straight to the
+    /// next event in [`EngineMode::EventDriven`] — accounting the skipped
+    /// interval identically either way.
+    fn run_loop<W: Workload>(&mut self, workload: &mut W, max_cycles: u64) -> Result<(), SimError> {
+        self.reset_phases();
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            let all_done = self.step(workload)?;
+            let dt = if all_done || self.engine == EngineMode::CycleAccurate {
+                1
+            } else {
+                self.next_event(deadline) - self.now
+            };
+            self.account(dt);
+            self.now += dt;
+            self.stats.cycles = self.now;
+            if all_done {
+                break;
+            }
+        }
+        Ok(())
     }
 
     /// Restarts every processor's phase machine so a fresh workload can be
@@ -225,7 +257,9 @@ impl<P: Protocol> System<P> {
         }
     }
 
-    /// Advances one bus cycle. Returns `true` once every processor is done.
+    /// Advances the phase machines at the current cycle: delivers due
+    /// completions, arbitrates the bus, and hands ready processors work.
+    /// Returns `true` once every processor is done.
     fn step<W: Workload>(&mut self, workload: &mut W) -> Result<bool, SimError> {
         // 1. Deliver completions whose time has come.
         for i in 0..self.phases.len() {
@@ -249,10 +283,12 @@ impl<P: Protocol> System<P> {
 
         // 3. Ready processors fetch work.
         for i in 0..self.phases.len() {
+            self.idle_hints[i] = u64::MAX;
             if matches!(self.phases[i], Phase::Ready) {
                 match workload.next(ProcId(i), self.now) {
                     WorkItem::Done => self.phases[i] = Phase::Done,
-                    WorkItem::Idle => {} // stays Ready; counted as stall below
+                    WorkItem::Idle => {} // stays Ready; counted as stall
+                    WorkItem::IdleUntil(t) => self.idle_hints[i] = t,
                     WorkItem::Compute(c) => {
                         self.phases[i] = Phase::Computing { until: self.now + c.max(1) };
                     }
@@ -261,41 +297,78 @@ impl<P: Protocol> System<P> {
             }
         }
 
-        // 4. Per-cycle accounting.
-        let mut all_done = true;
+        Ok(self.phases.iter().all(|p| matches!(p, Phase::Done)))
+    }
+
+    /// Accounts an interval of `dt` cycles starting at `now`, during which
+    /// no phase machine changes state. With `dt == 1` this is exactly the
+    /// reference per-cycle accounting; the event-driven mode passes the
+    /// whole skipped interval at once.
+    fn account(&mut self, dt: u64) {
         for i in 0..self.phases.len() {
             let p = &mut self.stats.per_proc[i];
-            match &self.phases[i] {
-                Phase::Done => continue,
-                Phase::Computing { .. } => p.busy_cycles += 1,
-                Phase::Ready => p.stall_cycles += 1, // idle
+            match &mut self.phases[i] {
+                Phase::Done => {}
+                Phase::Computing { .. } => p.busy_cycles += dt,
+                Phase::Ready => p.stall_cycles += dt, // idle
                 Phase::Pending { wait_since, .. } => {
-                    p.stall_cycles += 1;
+                    p.stall_cycles += dt;
                     if wait_since.is_some() {
-                        p.lock_wait_cycles += 1;
+                        p.lock_wait_cycles += dt;
                     }
                 }
-                Phase::InFlight { .. } => p.stall_cycles += 1,
+                Phase::InFlight { .. } => p.stall_cycles += dt,
                 Phase::WaitingLock { behavior, worked, .. } => {
-                    p.lock_wait_cycles += 1;
-                    let working = matches!(behavior, WaitBehavior::WorkFor(c) if worked < c);
-                    if working {
-                        p.busy_cycles += 1;
-                        p.useful_wait_cycles += 1;
-                        if let Phase::WaitingLock { worked, .. } = &mut self.phases[i] {
-                            *worked += 1;
-                        }
-                    } else {
-                        p.stall_cycles += 1;
-                    }
+                    // Work-while-waiting (Section E.4): the ready section
+                    // supplies `c` cycles of useful work; the remainder of
+                    // the wait is a plain stall. The interval may straddle
+                    // the point where the ready section runs dry.
+                    p.lock_wait_cycles += dt;
+                    let work = match behavior {
+                        WaitBehavior::WorkFor(c) => dt.min(c.saturating_sub(*worked)),
+                        WaitBehavior::Spin => 0,
+                    };
+                    p.busy_cycles += work;
+                    p.useful_wait_cycles += work;
+                    *worked += work;
+                    p.stall_cycles += dt - work;
                 }
             }
-            all_done = false;
         }
+    }
 
-        self.now += 1;
-        self.stats.cycles = self.now;
-        Ok(all_done)
+    /// The next cycle at which a phase machine can change state: the
+    /// earliest `Computing`/`InFlight` completion, the next arbitration
+    /// slot (only when a request is queued or a woken busy-wait register
+    /// wants the bus), or a workload idle hint — clamped to
+    /// `[now + 1, deadline]`.
+    ///
+    /// Between `now` and the returned cycle, every `step` would be a
+    /// no-op: no completion is due, arbitration has no requester (or no
+    /// free bus), and ready processors would keep answering `Idle` —
+    /// which the [`WorkItem::Idle`] contract guarantees is side-effect
+    /// free. Skipping straight there is therefore behaviour-preserving.
+    fn next_event(&self, deadline: u64) -> u64 {
+        let floor = self.now + 1;
+        let mut t = deadline;
+        let mut bus_wanted = false;
+        for (i, phase) in self.phases.iter().enumerate() {
+            match phase {
+                Phase::Computing { until } | Phase::InFlight { until, .. } => {
+                    t = t.min((*until).max(floor));
+                }
+                Phase::Pending { .. } => bus_wanted = true,
+                Phase::WaitingLock { .. } if self.registers[i].wants_bus() => bus_wanted = true,
+                _ => {}
+            }
+            if self.idle_hints[i] != u64::MAX {
+                t = t.min(self.idle_hints[i].max(floor));
+            }
+        }
+        if bus_wanted {
+            t = t.min(self.bus_free_at.max(floor));
+        }
+        t.max(floor)
     }
 
     /// A ready processor presents `op` to its cache.

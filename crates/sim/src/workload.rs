@@ -16,7 +16,20 @@ pub enum WorkItem {
     Compute(u64),
     /// Nothing to do this cycle; ask again next cycle (e.g. waiting for a
     /// partner process).
+    ///
+    /// Contract for the event-driven engine: a workload returning plain
+    /// `Idle` promises that the call had no side effects and that it has
+    /// nothing to do until some *other* system event (a completion or a bus
+    /// grant) changes its state — the engine may therefore skip re-polling
+    /// it until the next event. A workload whose `next` mutates state and
+    /// wants to be re-polled at a specific time must return
+    /// [`WorkItem::IdleUntil`] instead.
     Idle,
+    /// Nothing to do now, but re-poll at the given absolute cycle (an
+    /// *idle hint*). The event-driven engine treats `max(cycle, now + 1)`
+    /// as an event time; the cycle-accurate engine re-polls every cycle
+    /// regardless, so the two behave identically.
+    IdleUntil(u64),
     /// This processor has finished its program.
     Done,
 }

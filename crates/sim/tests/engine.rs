@@ -352,18 +352,17 @@ fn trace_records_bus_and_state_changes() {
 
 #[test]
 fn random_soak_against_oracle() {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
-    let mut rng = SmallRng::seed_from_u64(0xB17A);
+    use mcs_model::Rng64;
+    let mut rng = Rng64::seed_from_u64(0xB17A);
     for round in 0..8 {
         let procs = 2 + (round % 3);
         let mut script = Vec::new();
         let mut serial = 1u64;
         #[allow(clippy::explicit_counter_loop)]
         for _ in 0..300 {
-            let p = ProcId(rng.gen_range(0..procs));
-            let addr = Addr(rng.gen_range(0..24));
-            let op = match rng.gen_range(0..4) {
+            let p = ProcId(rng.gen_range_usize(0..procs));
+            let addr = Addr(rng.gen_range_u64(0..24));
+            let op = match rng.gen_range_u64(0..4) {
                 0 => ProcOp::read(addr),
                 1 => ProcOp::write(addr, Word(serial)),
                 2 => ProcOp::rmw(addr, Word(serial)),

@@ -115,7 +115,7 @@ impl ProducerConsumerWorkload {
 }
 
 impl Workload for ProducerConsumerWorkload {
-    fn next(&mut self, proc: ProcId, _now: u64) -> WorkItem {
+    fn next(&mut self, proc: ProcId, now: u64) -> WorkItem {
         self.ensure_proc(proc);
         let pair = Self::pair_of(proc);
         let rounds = self.rounds;
@@ -135,7 +135,10 @@ impl Workload for ProducerConsumerWorkload {
                 if produce_cycles > 0 {
                     WorkItem::Compute(produce_cycles)
                 } else {
-                    WorkItem::Idle
+                    // This call advanced the phase machine, so plain `Idle`
+                    // (whose contract promises a side-effect-free poll)
+                    // would be wrong: ask to be re-polled next cycle.
+                    WorkItem::IdleUntil(now + 1)
                 }
             }
             Phase::WriteBinding { i } => {

@@ -12,11 +12,9 @@
 //! under a lock, or a service-queue interaction — on the sync bus, with
 //! frequent process switches saving state via write-without-fetch.
 
-use mcs_model::{Addr, ProcId, ProcOp, Word};
+use mcs_model::{Addr, ProcId, ProcOp, Rng64, Word};
 use mcs_sim::{AccessResult, Crossbar, WorkItem, Workload};
 use mcs_sync::{LockAcquire, LockSchemeKind, LockSchemeStats, LockStep};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -74,7 +72,7 @@ enum Phase {
 struct Proc {
     phase: Phase,
     reductions_left: usize,
-    rng: SmallRng,
+    rng: Rng64,
     current_atom: usize,
 }
 
@@ -141,7 +139,7 @@ impl PrologWorkload {
             self.procs.push(Proc {
                 phase: Phase::Reduce { xbar_left: self.cfg.crossbar_accesses_per_reduction },
                 reductions_left: self.cfg.reductions_per_proc,
-                rng: SmallRng::seed_from_u64(self.cfg.seed ^ (id << 24 | 0x51)),
+                rng: Rng64::seed_from_u64(self.cfg.seed ^ (id << 24 | 0x51)),
                 current_atom: 0,
             });
         }
@@ -161,7 +159,7 @@ impl Workload for PrologWorkload {
                     // Instruction/term fetch through the crossbar: the
                     // latency comes back as compute time on this processor.
                     let write = self.procs[proc.0].rng.gen_bool(0.25);
-                    let addr = Addr(0x100_0000 + self.procs[proc.0].rng.gen_range(0..2048u64));
+                    let addr = Addr(0x100_0000 + self.procs[proc.0].rng.gen_range_u64(0..2048));
                     let latency =
                         self.crossbar.borrow_mut().access(proc.0, addr, write, now).max(1);
                     self.procs[proc.0].phase = Phase::Reduce { xbar_left: xbar_left - 1 };
@@ -177,7 +175,7 @@ impl Workload for PrologWorkload {
                 let publish = p.rng.gen_bool(self.cfg.binding_fraction);
                 let switch = p.rng.gen_bool(self.cfg.switch_fraction);
                 if publish {
-                    let atom = p.rng.gen_range(0..self.cfg.binding_atoms);
+                    let atom = p.rng.gen_range_usize(0..self.cfg.binding_atoms);
                     p.current_atom = atom;
                     let acquire =
                         LockAcquire::new(LockSchemeKind::CacheLock, self.atom_addr(atom));

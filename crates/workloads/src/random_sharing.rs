@@ -6,10 +6,8 @@
 //! stream deterministically from a seed, with each processor touching its
 //! own private region plus a common shared region.
 
-use mcs_model::{Addr, ProcId, ProcOp, Word};
+use mcs_model::{Addr, ProcId, ProcOp, Rng64, Word};
 use mcs_sim::{AccessResult, WorkItem, Workload};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Configuration for [`RandomSharingWorkload`].
 #[derive(Debug, Clone, Copy)]
@@ -56,7 +54,7 @@ impl Default for RandomSharingConfig {
 }
 
 struct Proc {
-    rng: SmallRng,
+    rng: Rng64,
     refs_left: usize,
     in_flight: bool,
     hot_base: u64,
@@ -85,7 +83,7 @@ impl RandomSharingWorkload {
         while self.procs.len() <= proc.0 {
             let id = self.procs.len() as u64;
             self.procs.push(Proc {
-                rng: SmallRng::seed_from_u64(self.cfg.seed ^ (id.wrapping_mul(0x9E37_79B9))),
+                rng: Rng64::seed_from_u64(self.cfg.seed ^ (id.wrapping_mul(0x9E37_79B9))),
                 refs_left: self.cfg.refs_per_proc,
                 in_flight: false,
                 hot_base: 0,
@@ -99,14 +97,15 @@ impl RandomSharingWorkload {
         let p = &mut self.procs[proc.0];
         let shared = p.rng.gen_bool(cfg.shared_fraction);
         let addr = if shared {
-            Addr(p.rng.gen_range(0..cfg.shared_words))
+            Addr(p.rng.gen_range_u64(0..cfg.shared_words))
         } else {
             // Private region with temporal locality: mostly within the
             // current hot set, occasionally moving the hot set.
             if !p.rng.gen_bool(cfg.locality) {
-                p.hot_base = p.rng.gen_range(0..cfg.private_words.saturating_sub(cfg.hot_words).max(1));
+                p.hot_base =
+                    p.rng.gen_range_u64(0..cfg.private_words.saturating_sub(cfg.hot_words).max(1));
             }
-            Addr(private_base + p.hot_base + p.rng.gen_range(0..cfg.hot_words))
+            Addr(private_base + p.hot_base + p.rng.gen_range_u64(0..cfg.hot_words))
         };
         if p.rng.gen_bool(cfg.write_ratio) {
             self.value_seq += 1;

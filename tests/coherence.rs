@@ -9,10 +9,8 @@
 
 use mcs::cache::CacheConfig;
 use mcs::core::{with_protocol, ProtocolKind};
-use mcs::model::{Addr, ProcId, ProcOp, Word};
+use mcs::model::{Addr, ProcId, ProcOp, Rng64, Word};
 use mcs::sim::{SystemConfig, System};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds a random script exercising reads, writes, RMWs and (for the lock
 /// protocol) lock pairs, over a small contended address range.
@@ -23,14 +21,14 @@ fn random_script(
     words_per_block: u64,
     with_locks: bool,
 ) -> Vec<(ProcId, ProcOp)> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut script = Vec::with_capacity(ops);
     let mut serial = 1u64;
     // Lock blocks live apart from the data blocks.
     let lock_base = 64 * words_per_block;
     let mut held: Vec<Option<Addr>> = vec![None; procs];
     for _ in 0..ops {
-        let p = rng.gen_range(0..procs);
+        let p = rng.gen_range_usize(0..procs);
         // A processor holding a lock either works inside it or releases.
         if let Some(lock) = held[p] {
             if rng.gen_bool(0.5) {
@@ -39,20 +37,20 @@ fn random_script(
                 held[p] = None;
             } else {
                 serial += 1;
-                let inside = Addr(lock.0 + rng.gen_range(1..words_per_block.max(2)));
+                let inside = Addr(lock.0 + rng.gen_range_u64(1..words_per_block.max(2)));
                 script.push((ProcId(p), ProcOp::write(inside, Word(serial))));
             }
             continue;
         }
-        let addr = Addr(rng.gen_range(0..24));
+        let addr = Addr(rng.gen_range_u64(0..24));
         serial += 1;
-        let op = match rng.gen_range(0..6) {
+        let op = match rng.gen_range_u64(0..6) {
             0 | 1 => ProcOp::read(addr),
             2 => ProcOp::write(addr, Word(serial)),
             3 => ProcOp::rmw(addr, Word(serial)),
             4 => ProcOp::read_for_write(addr),
             _ if with_locks && rng.gen_bool(0.4) => {
-                let lock = Addr(lock_base + rng.gen_range(0..2u64) * words_per_block);
+                let lock = Addr(lock_base + rng.gen_range_u64(0..2) * words_per_block);
                 held[p] = Some(lock);
                 ProcOp::lock_read(lock)
             }
