@@ -1,10 +1,24 @@
 #!/usr/bin/env bash
 # Offline CI for the mcs workspace: release build, full test suite
-# (including the perf smoke tests and the engine equivalence suite), and
-# clippy with warnings denied. No network access required or attempted.
+# (including the perf smoke tests and the engine equivalence suite), clippy
+# with warnings denied, and an observability smoke run. No network access
+# required or attempted.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release --offline
+cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Observability smoke: export a JSONL trace for two E2 contenders and pipe
+# each through the in-tree validator (every line parses, meta header first,
+# cycles monotonically non-decreasing).
+OBS_DIR=target/obs-smoke
+mkdir -p "$OBS_DIR"
+for proto in bitar-despain illinois; do
+  out="$OBS_DIR/e2-$proto.jsonl"
+  ./target/release/obsreport --experiment e2 --protocol "$proto" \
+    --json-trace --out "$out"
+  ./target/release/obsreport validate "$out"
+done
+echo "ci.sh: all checks passed"

@@ -21,6 +21,11 @@
 //!   contention-heavy test settings. "Before" runs the grid serially on
 //!   the cycle-accurate engine; "after" runs it on the event-driven
 //!   engine fanned out over `sweep` threads.
+//! * **Observability overhead** — the critical-section throughput run
+//!   with the observability stack disabled, with histograms + timeline
+//!   enabled, and with full JSONL event serialization; written to
+//!   `BENCH_obs.json`. The disabled configuration must stay within noise
+//!   of the pre-observability engine.
 //!
 //! Reproduce with `cargo run --release -p mcs-bench --bin bench_engine`.
 
@@ -28,6 +33,7 @@ use mcs_bench::experiments::{self, e2_locking, e3_busywait, run_cs};
 use mcs_bench::sweep;
 use mcs_cache::CacheConfig;
 use mcs_core::ProtocolKind;
+use mcs_obs::{JsonlSink, RunMeta};
 use mcs_sim::{EngineMode, System, SystemConfig};
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::{
@@ -174,6 +180,102 @@ fn measure_sweep(name: &'static str, detail: &str, grid: impl Fn() -> u64) -> Me
     Measurement { name, detail: detail.to_string(), sim_cycles: after_cycles, before_s, after_s }
 }
 
+// ---- observability overhead ---------------------------------------------
+
+/// One observability configuration for the overhead benchmark.
+#[derive(Clone, Copy)]
+enum ObsConfig {
+    /// No sinks, no histograms, no timeline — the default simulator path.
+    Disabled,
+    /// Histograms + interval timeline, no event serialization.
+    HistogramsOnly,
+    /// Full JSONL serialization of every event (written to a discarding
+    /// sink, so this times serialization, not the filesystem).
+    JsonlSink,
+}
+
+impl ObsConfig {
+    fn name(self) -> &'static str {
+        match self {
+            ObsConfig::Disabled => "disabled",
+            ObsConfig::HistogramsOnly => "histograms_timeline",
+            ObsConfig::JsonlSink => "jsonl_sink",
+        }
+    }
+}
+
+/// The critical-section throughput workload under one obs configuration.
+fn obs_workload(config: ObsConfig) -> u64 {
+    let cache = CacheConfig::fully_associative(64, 4).expect("valid cache");
+    let mut w = CriticalSectionWorkload::builder()
+        .scheme(LockSchemeKind::CacheLock)
+        .words_per_block(4)
+        .locks(1)
+        .payload_blocks(1)
+        .payload_reads(2)
+        .payload_writes(2)
+        .think_cycles(BENCH_THINK)
+        .iterations(500)
+        .build();
+    let mut cfg = SystemConfig::new(4).with_cache(cache);
+    if matches!(config, ObsConfig::HistogramsOnly | ObsConfig::JsonlSink) {
+        cfg = cfg.with_histograms(true).with_timeline(1_000);
+    }
+    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
+    if matches!(config, ObsConfig::JsonlSink) {
+        sys.add_sink(Box::new(JsonlSink::new(std::io::sink(), &RunMeta::new())));
+    }
+    let cycles = sys.run_workload(&mut w, 300_000_000).expect("run").cycles;
+    sys.finish_sinks();
+    cycles
+}
+
+struct ObsMeasurement {
+    name: &'static str,
+    sim_cycles: u64,
+    wall_s: f64,
+}
+
+/// Times each observability configuration over `reps` runs, keeping the
+/// fastest wall time (minimum is the standard robust estimator for
+/// CPU-bound microbenchmarks).
+fn measure_obs_overhead(reps: usize) -> Vec<ObsMeasurement> {
+    let configs =
+        [ObsConfig::Disabled, ObsConfig::HistogramsOnly, ObsConfig::JsonlSink];
+    configs
+        .iter()
+        .map(|&config| {
+            let mut best = f64::INFINITY;
+            let mut cycles = 0;
+            for _ in 0..reps {
+                let (c, s) = time(|| obs_workload(config));
+                cycles = c;
+                best = best.min(s);
+            }
+            ObsMeasurement { name: config.name(), sim_cycles: cycles, wall_s: best }
+        })
+        .collect()
+}
+
+fn obs_json_entry(m: &ObsMeasurement, baseline_s: f64) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"sim_cycles\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"cycles_per_wall_s\": {:.0},\n",
+            "      \"overhead_vs_disabled\": {:.4}\n",
+            "    }}"
+        ),
+        m.name,
+        m.sim_cycles,
+        m.wall_s,
+        m.sim_cycles as f64 / m.wall_s,
+        m.wall_s / baseline_s - 1.0,
+    )
+}
+
 // ---- report -------------------------------------------------------------
 
 fn json_entry(m: &Measurement) -> String {
@@ -268,4 +370,38 @@ fn main() {
     let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_engine.json".to_string());
     std::fs::write(&path, out).expect("write BENCH_engine.json");
     println!("wrote {path}");
+
+    // Observability overhead: the same critical-section throughput run with
+    // the obs stack disabled, with histograms + timeline, and with full
+    // JSONL serialization. The disabled configuration is the guarded-out
+    // path every normal experiment takes; it must stay within noise of the
+    // pre-observability engine (the guards are an empty-Vec check and two
+    // `Option` branches per event).
+    let obs = measure_obs_overhead(3);
+    let baseline_s = obs[0].wall_s;
+    for m in &obs {
+        println!(
+            "  obs      {:>18}: {:>9} cycles  wall {:.3}s  {:>12.0} cycles/s  overhead {:+.2}%",
+            m.name,
+            m.sim_cycles,
+            m.wall_s,
+            m.sim_cycles as f64 / m.wall_s,
+            100.0 * (m.wall_s / baseline_s - 1.0),
+        );
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"workload\": \"Bitar-Despain cache lock, 4 procs, think 3000, 500 iterations, event-driven engine\",\n",
+    );
+    out.push_str(
+        "  \"reproduce\": \"cargo run --release -p mcs-bench --bin bench_engine\",\n",
+    );
+    out.push_str("  \"configs\": [\n");
+    let entries: Vec<String> = obs.iter().map(|m| obs_json_entry(m, baseline_s)).collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    let obs_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_obs.json".to_string());
+    std::fs::write(&obs_path, out).expect("write BENCH_obs.json");
+    println!("wrote {obs_path}");
 }

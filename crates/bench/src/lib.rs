@@ -17,5 +17,6 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod obsrun;
 pub mod report;
 pub mod sweep;

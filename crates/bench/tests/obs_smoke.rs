@@ -1,0 +1,74 @@
+//! Smoke tests for the exported observability streams: every JSONL line
+//! must parse under the in-tree validator, cycles must be monotonically
+//! non-decreasing, and the whole stream must be byte-stable for a fixed
+//! configuration (the `obsreport --json-trace` acceptance criterion).
+
+use mcs_bench::obsrun::{run_observed, ObsPreset, ObsSpec};
+use mcs_core::ProtocolKind;
+use mcs_obs::validate_line;
+
+fn spec(kind: ProtocolKind, preset: ObsPreset) -> ObsSpec {
+    let mut s = ObsSpec::new(kind);
+    s.preset = preset;
+    s.json_trace = true;
+    s
+}
+
+/// Validates one JSONL stream: header first, every line parses, cycles
+/// monotone. Returns the line count.
+fn validate_stream(label: &str, jsonl: &str) -> u64 {
+    let mut last_cycle = 0;
+    let mut lines = 0;
+    for (i, line) in jsonl.lines().enumerate() {
+        let parsed = validate_line(line)
+            .unwrap_or_else(|e| panic!("{label} line {}: {e}\n{line}", i + 1));
+        if i == 0 {
+            assert!(parsed.is_meta, "{label}: first line must be the meta header");
+        } else {
+            let cycle = parsed
+                .cycle
+                .unwrap_or_else(|| panic!("{label} line {}: event without a cycle", i + 1));
+            assert!(
+                cycle >= last_cycle,
+                "{label} line {}: cycle {cycle} went backwards (previous {last_cycle})",
+                i + 1
+            );
+            last_cycle = cycle;
+        }
+        lines += 1;
+    }
+    lines
+}
+
+#[test]
+fn jsonl_streams_are_valid_and_monotonic() {
+    for kind in [ProtocolKind::BitarDespain, ProtocolKind::Illinois, ProtocolKind::Goodman] {
+        for preset in [ObsPreset::E2, ObsPreset::E3] {
+            let run = run_observed(&spec(kind, preset));
+            let jsonl = run.jsonl.as_deref().expect("trace requested");
+            let label = format!("{}/{}", kind.id(), preset.id());
+            let lines = validate_stream(&label, jsonl);
+            assert!(lines > 10, "{label}: suspiciously short trace ({lines} lines)");
+            assert!(
+                jsonl.contains(&format!("\"protocol\":\"{}\"", kind.id())),
+                "{label}: header must name the protocol"
+            );
+        }
+    }
+}
+
+#[test]
+fn jsonl_stream_is_byte_stable() {
+    let s = spec(ProtocolKind::BitarDespain, ObsPreset::E2);
+    let a = run_observed(&s).jsonl.expect("trace requested");
+    let b = run_observed(&s).jsonl.expect("trace requested");
+    assert_eq!(a, b, "same spec must give a byte-identical stream");
+}
+
+#[test]
+fn histogram_and_timeline_exports_are_valid_json() {
+    let run = run_observed(&spec(ProtocolKind::BitarDespain, ObsPreset::E3));
+    for json in [run.hists.to_json(), run.timeline.to_json(run.stats.cycles)] {
+        validate_line(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+    }
+}

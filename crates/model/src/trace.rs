@@ -7,6 +7,7 @@
 use crate::bus::{BusTxn, SnoopSummary};
 use crate::ops::ProcOp;
 use crate::types::{BlockAddr, CacheId, ProcId};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Why a line changed state.
@@ -193,18 +194,31 @@ impl fmt::Display for Event {
     }
 }
 
-/// An append-only event log with cycle timestamps. Disabled traces cost one
-/// branch per event.
+/// An event log with cycle timestamps. Disabled traces cost one branch per
+/// event.
+///
+/// By default the log is unbounded. [`Trace::bounded`] turns it into a
+/// ring buffer that keeps only the most recent `capacity` events, counting
+/// what it drops — so long sweeps can keep tracing on for the tail of a
+/// run without unbounded memory growth.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<(u64, Event)>,
+    events: VecDeque<(u64, Event)>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Trace {
-    /// A recording trace.
+    /// A recording, unbounded trace.
     pub fn enabled() -> Self {
-        Trace { enabled: true, events: Vec::new() }
+        Trace { enabled: true, ..Trace::default() }
+    }
+
+    /// A recording ring-buffer trace keeping the most recent `capacity`
+    /// events (clamped to ≥ 1); older events are dropped and counted.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace { enabled: true, capacity: Some(capacity.max(1)), ..Trace::default() }
     }
 
     /// A disabled trace that drops every event.
@@ -217,16 +231,47 @@ impl Trace {
         self.enabled
     }
 
+    /// The ring-buffer capacity, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Events evicted from the front of a bounded trace so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Records `event` at `cycle` (no-op when disabled).
     pub fn push(&mut self, cycle: u64, event: Event) {
         if self.enabled {
-            self.events.push((cycle, event));
+            if let Some(cap) = self.capacity {
+                if self.events.len() == cap {
+                    self.events.pop_front();
+                    self.dropped += 1;
+                }
+            }
+            self.events.push_back((cycle, event));
         }
     }
 
-    /// The recorded events in order.
-    pub fn events(&self) -> &[(u64, Event)] {
-        &self.events
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates the retained events in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, Event)> {
+        self.events.iter()
+    }
+
+    /// The retained events as an owned, ordered vector.
+    pub fn to_vec(&self) -> Vec<(u64, Event)> {
+        self.events.iter().cloned().collect()
     }
 
     /// Iterates events matching `pred`.
@@ -238,19 +283,24 @@ impl Trace {
     }
 
     /// Renders the whole trace, one event per line, as used by the figure
-    /// regeneration binary.
+    /// regeneration binary. A bounded trace that has dropped events leads
+    /// with a marker line saying how many.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "[... {} earlier events dropped ...]", self.dropped);
+        }
         for (cycle, e) in &self.events {
             let _ = writeln!(out, "[{cycle:>6}] {e}");
         }
         out
     }
 
-    /// Clears all recorded events.
+    /// Clears all recorded events and the drop counter.
     pub fn clear(&mut self) {
         self.events.clear();
+        self.dropped = 0;
     }
 }
 
@@ -265,7 +315,7 @@ mod tests {
     fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
         t.push(1, Event::Note("x".into()));
-        assert!(t.events().is_empty());
+        assert!(t.is_empty());
         assert!(!t.is_enabled());
     }
 
@@ -274,11 +324,41 @@ mod tests {
         let mut t = Trace::enabled();
         t.push(1, Event::Note("a".into()));
         t.push(5, Event::MemoryProvides { block: BlockAddr(2) });
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].0, 1);
-        assert_eq!(t.events()[1].0, 5);
+        let events = t.to_vec();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].0, 1);
+        assert_eq!(events[1].0, 5);
+        assert_eq!(t.capacity(), None);
         t.clear();
-        assert!(t.events().is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_trace_keeps_most_recent_and_counts_drops() {
+        let mut t = Trace::bounded(3);
+        assert_eq!(t.capacity(), Some(3));
+        for c in 0..5 {
+            t.push(c, Event::Note(format!("e{c}")));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let cycles: Vec<u64> = t.iter().map(|(c, _)| *c).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+        let rendered = t.render();
+        assert!(rendered.starts_with("[... 2 earlier events dropped ...]"), "{rendered}");
+        t.clear();
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_capacity_is_clamped_to_one() {
+        let mut t = Trace::bounded(0);
+        t.push(0, Event::Note("a".into()));
+        t.push(1, Event::Note("b".into()));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.to_vec()[0].0, 1);
     }
 
     #[test]

@@ -29,9 +29,12 @@ pub struct SystemConfig {
     timing: TimingConfig,
     directory: Option<DirectoryDuality>,
     trace: bool,
+    trace_capacity: Option<usize>,
     oracle: bool,
     retry_bound: u32,
     engine: EngineMode,
+    histograms: bool,
+    timeline_window: Option<u64>,
 }
 
 impl SystemConfig {
@@ -44,9 +47,12 @@ impl SystemConfig {
             timing: TimingConfig::default(),
             directory: None,
             trace: false,
+            trace_capacity: None,
             oracle: true,
             retry_bound: 10_000,
             engine: EngineMode::default(),
+            histograms: false,
+            timeline_window: None,
         }
     }
 
@@ -94,6 +100,27 @@ impl SystemConfig {
         self
     }
 
+    /// Bounds the trace to a ring buffer of `capacity` events (implies
+    /// nothing about enabling — combine with [`Self::with_trace`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
+    /// Enables latency histograms (lock-acquire wait, busy-wait sleep,
+    /// bus-arbitration wait, miss service). Off by default.
+    pub fn with_histograms(mut self, histograms: bool) -> Self {
+        self.histograms = histograms;
+        self
+    }
+
+    /// Enables the interval time-series sampler with the given window in
+    /// cycles (clamped to ≥ 1). Off by default.
+    pub fn with_timeline(mut self, window_cycles: u64) -> Self {
+        self.timeline_window = Some(window_cycles.max(1));
+        self
+    }
+
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.processors
@@ -133,6 +160,21 @@ impl SystemConfig {
     pub fn engine(&self) -> EngineMode {
         self.engine
     }
+
+    /// The trace ring-buffer capacity, or `None` for unbounded.
+    pub fn trace_capacity(&self) -> Option<usize> {
+        self.trace_capacity
+    }
+
+    /// Whether latency histograms are recorded.
+    pub fn histograms(&self) -> bool {
+        self.histograms
+    }
+
+    /// The interval-sampler window, or `None` when the timeline is off.
+    pub fn timeline_window(&self) -> Option<u64> {
+        self.timeline_window
+    }
 }
 
 #[cfg(test)]
@@ -167,5 +209,17 @@ mod tests {
     fn engine_override() {
         let c = SystemConfig::new(2).with_engine(EngineMode::CycleAccurate);
         assert_eq!(c.engine(), EngineMode::CycleAccurate);
+    }
+
+    #[test]
+    fn observability_knobs() {
+        let c = SystemConfig::new(2);
+        assert!(!c.histograms());
+        assert_eq!(c.timeline_window(), None);
+        assert_eq!(c.trace_capacity(), None);
+        let c = c.with_histograms(true).with_timeline(0).with_trace_capacity(128);
+        assert!(c.histograms());
+        assert_eq!(c.timeline_window(), Some(1), "window is clamped to >= 1");
+        assert_eq!(c.trace_capacity(), Some(128));
     }
 }

@@ -41,6 +41,7 @@ mod system;
 mod workload;
 
 pub use config::{EngineMode, SystemConfig};
+pub use mcs_obs as obs;
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
 pub use error::{OracleViolation, SimError};
 pub use memory::MainMemory;

@@ -32,6 +32,7 @@ use crate::memory::MainMemory;
 use crate::oracle::Oracle;
 use crate::workload::{AccessResult, ScriptWorkload, WaitBehavior, WorkItem, Workload};
 use mcs_cache::{BusyWaitRegister, Cache, DirectoryModel, EvictedLine};
+use mcs_obs::{EventSink, IntervalSampler, LatencyHists};
 use std::collections::BTreeMap;
 use mcs_model::{
     AccessKind, Addr, AgentId, BlockAddr, BlockGeometry, BusOp, BusTxn, CacheId, CompleteOutcome,
@@ -46,12 +47,30 @@ enum Phase {
     Ready,
     /// Busy computing until the given cycle.
     Computing { until: u64 },
-    /// Has a bus request queued, waiting for a grant.
-    Pending { op: ProcOp, bus_op: BusOp, retries: u32, wait_since: Option<u64> },
+    /// Has a bus request queued, waiting for a grant. `queued_at` is when
+    /// this queue entry was (re-)created, for arbitration-wait latency;
+    /// `issued_at` is when the originating miss was first presented, for
+    /// miss-service latency.
+    Pending {
+        op: ProcOp,
+        bus_op: BusOp,
+        retries: u32,
+        wait_since: Option<u64>,
+        queued_at: u64,
+        issued_at: u64,
+    },
     /// Transaction granted; completes (from the processor's view) at `until`.
     InFlight { op: ProcOp, until: u64, result: AccessResult },
     /// Lock fetch denied; busy-wait register armed (Figure 7).
-    WaitingLock { op: ProcOp, bus_op: BusOp, since: u64, behavior: WaitBehavior, worked: u64, retries: u32 },
+    WaitingLock {
+        op: ProcOp,
+        bus_op: BusOp,
+        since: u64,
+        behavior: WaitBehavior,
+        worked: u64,
+        retries: u32,
+        issued_at: u64,
+    },
     /// Program finished.
     Done,
 }
@@ -82,6 +101,16 @@ pub struct System<P: Protocol> {
     check_dual_sources: bool,
     stats: Stats,
     trace: Trace,
+    /// Attached event sinks; every traced event is dispatched to each, in
+    /// trace order, regardless of whether the in-memory trace is enabled.
+    sinks: Vec<Box<dyn EventSink>>,
+    /// Latency histograms (`None` unless enabled in the config).
+    hists: Option<LatencyHists>,
+    /// Interval time-series sampler (`None` unless enabled in the config).
+    sampler: Option<IntervalSampler>,
+    /// Per-processor cycle at which the busy-wait register last woke, for
+    /// arbitration-wait latency of high-priority re-acquisitions.
+    woken_at: Vec<u64>,
     phases: Vec<Phase>,
     /// Lock bits spilled to memory when a locked block had to be purged
     /// (Section E.3's minor modification): block -> (holder, waiter seen).
@@ -126,7 +155,15 @@ impl<P: Protocol> System<P> {
             oracle: config.oracle().then(Oracle::new),
             check_dual_sources,
             stats: Stats::new(n),
-            trace: if config.trace() { Trace::enabled() } else { Trace::disabled() },
+            trace: match (config.trace(), config.trace_capacity()) {
+                (false, _) => Trace::disabled(),
+                (true, None) => Trace::enabled(),
+                (true, Some(cap)) => Trace::bounded(cap),
+            },
+            sinks: Vec::new(),
+            hists: config.histograms().then(LatencyHists::default),
+            sampler: config.timeline_window().map(IntervalSampler::new),
+            woken_at: vec![0; n],
             phases: vec![Phase::Ready; n],
             memory_locks: BTreeMap::new(),
             idle_hints: vec![u64::MAX; n],
@@ -175,6 +212,49 @@ impl<P: Protocol> System<P> {
     /// The event trace (empty unless tracing was enabled).
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Attaches an event sink; every subsequent traced event is dispatched
+    /// to it (even when the in-memory trace is disabled).
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Flushes every attached sink. Call when done driving the system.
+    pub fn finish_sinks(&mut self) {
+        for s in &mut self.sinks {
+            s.finish();
+        }
+    }
+
+    /// The latency histograms, when enabled via
+    /// [`SystemConfig::with_histograms`].
+    pub fn histograms(&self) -> Option<&LatencyHists> {
+        self.hists.as_ref()
+    }
+
+    /// The interval time-series, when enabled via
+    /// [`SystemConfig::with_timeline`].
+    pub fn timeline(&self) -> Option<&IntervalSampler> {
+        self.sampler.as_ref()
+    }
+
+    /// Records one event: updates the interval sampler, dispatches to every
+    /// sink, and appends to the in-memory trace. The sampler derives its
+    /// reference and bus-busy integrals from the event stream itself, so
+    /// they stay bit-identical across engine modes by construction.
+    fn emit(&mut self, cycle: u64, event: Event) {
+        if let Some(s) = &mut self.sampler {
+            match &event {
+                Event::ProcAccess { hit, .. } => s.add_ref(cycle, *hit),
+                Event::Bus { duration, .. } => s.add_bus_span(cycle, *duration),
+                _ => {}
+            }
+        }
+        for sink in &mut self.sinks {
+            sink.record(cycle, &event);
+        }
+        self.trace.push(cycle, event);
     }
 
     /// Current simulated cycle.
@@ -305,6 +385,7 @@ impl<P: Protocol> System<P> {
     /// reference per-cycle accounting; the event-driven mode passes the
     /// whole skipped interval at once.
     fn account(&mut self, dt: u64) {
+        let mut lock_waiters = 0u64;
         for i in 0..self.phases.len() {
             let p = &mut self.stats.per_proc[i];
             match &mut self.phases[i] {
@@ -315,10 +396,12 @@ impl<P: Protocol> System<P> {
                     p.stall_cycles += dt;
                     if wait_since.is_some() {
                         p.lock_wait_cycles += dt;
+                        lock_waiters += 1;
                     }
                 }
                 Phase::InFlight { .. } => p.stall_cycles += dt,
                 Phase::WaitingLock { behavior, worked, .. } => {
+                    lock_waiters += 1;
                     // Work-while-waiting (Section E.4): the ready section
                     // supplies `c` cycles of useful work; the remainder of
                     // the wait is a plain stall. The interval may straddle
@@ -332,6 +415,16 @@ impl<P: Protocol> System<P> {
                     p.useful_wait_cycles += work;
                     *worked += work;
                     p.stall_cycles += dt - work;
+                }
+            }
+        }
+        // Outstanding lock-waiters integral: each waiter contributes `dt`
+        // waiter-cycles over [now, now+dt), split across sample windows so
+        // event-driven skips attribute identically to per-cycle stepping.
+        if lock_waiters > 0 {
+            if let Some(s) = &mut self.sampler {
+                for _ in 0..lock_waiters {
+                    s.add_waiter_span(self.now, dt);
                 }
             }
         }
@@ -397,9 +490,15 @@ impl<P: Protocol> System<P> {
             && self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(i))
         {
             self.stats.per_proc[i].misses += 1;
-            self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
-            self.phases[i] =
-                Phase::Pending { op, bus_op: BusOp::UnlockBroadcast, retries: 0, wait_since: None };
+            self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            self.phases[i] = Phase::Pending {
+                op,
+                bus_op: BusOp::UnlockBroadcast,
+                retries: 0,
+                wait_since: None,
+                queued_at: self.now,
+                issued_at: self.now,
+            };
             return Ok(());
         }
         // The conditional store (optimistic RMW, method 3, Section F.3):
@@ -412,7 +511,10 @@ impl<P: Protocol> System<P> {
             if kind == AccessKind::WriteIfOwned { AccessKind::Write } else { kind };
         if kind == AccessKind::WriteIfOwned && !state.descriptor().is_valid() {
             self.stats.per_proc[i].misses += 1;
-            self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            if let Some(h) = &mut self.hists {
+                h.miss_service.record(1);
+            }
             let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
             workload.complete(ProcId(i), &op, &result, self.now);
             self.phases[i] = Phase::Computing { until: self.now + 1 };
@@ -421,27 +523,37 @@ impl<P: Protocol> System<P> {
         match self.protocol.proc_access(state, effective_kind) {
             ProcAction::Hit { next } => {
                 self.stats.per_proc[i].hits += 1;
-                self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: true });
-                self.apply_local_hit(i, op, state, next, workload)?;
+                self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: true });
+                self.apply_local_hit(i, op, state, next, 0, workload)?;
                 self.phases[i] = Phase::Computing { until: self.now + 1 };
             }
             ProcAction::Bus { op: bus_op } => {
                 self.stats.per_proc[i].misses += 1;
-                self.trace.push(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
-                self.phases[i] =
-                    Phase::Pending { op, bus_op, retries: 0, wait_since: None };
+                self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+                self.phases[i] = Phase::Pending {
+                    op,
+                    bus_op,
+                    retries: 0,
+                    wait_since: None,
+                    queued_at: self.now,
+                    issued_at: self.now,
+                };
             }
         }
         Ok(())
     }
 
     /// Performs the data/state effects of a local (no-bus) access.
+    /// `waited` is the lock-wait this access accumulated before completing
+    /// locally (nonzero only when a queued/woken request converted into a
+    /// hit), recorded against the lock-acquire-wait histogram.
     fn apply_local_hit<W: Workload>(
         &mut self,
         i: usize,
         op: ProcOp,
         state: P::State,
         next: P::State,
+        waited: u64,
         workload: &mut W,
     ) -> Result<(), SimError> {
         let block = self.geometry.block_of(op.addr);
@@ -491,8 +603,11 @@ impl<P: Protocol> System<P> {
         if op.kind == AccessKind::LockRead && after.is_locked() && !before.is_locked() {
             self.stats.locks.acquires += 1;
             self.stats.locks.zero_time_acquires += 1;
+            if let Some(h) = &mut self.hists {
+                h.lock_acquire_wait.record(waited);
+            }
             self.lock_oracle_acquire(block, CacheId(i))?;
-            self.trace.push(
+            self.emit(
                 self.now,
                 Event::LockAcquired { cache: CacheId(i), block, zero_time: true },
             );
@@ -501,7 +616,7 @@ impl<P: Protocol> System<P> {
             self.stats.locks.releases += 1;
             self.stats.locks.zero_time_releases += 1;
             self.lock_oracle_release(block, CacheId(i))?;
-            self.trace.push(
+            self.emit(
                 self.now,
                 Event::LockReleased { cache: CacheId(i), block, broadcast: false },
             );
@@ -538,12 +653,14 @@ impl<P: Protocol> System<P> {
         let Some((i, hi)) = chosen else { return Ok(()) };
         self.rr = (i + 1) % n;
 
-        let (op, bus_op, retries, wait_since) = match &self.phases[i] {
-            Phase::Pending { op, bus_op, retries, wait_since, .. } => {
-                (*op, *bus_op, *retries, *wait_since)
+        let (op, bus_op, retries, wait_since, queued_at, issued_at) = match &self.phases[i] {
+            Phase::Pending { op, bus_op, retries, wait_since, queued_at, issued_at } => {
+                (*op, *bus_op, *retries, *wait_since, *queued_at, *issued_at)
             }
-            Phase::WaitingLock { op, bus_op, since, retries, .. } => {
-                (*op, *bus_op, *retries, Some(*since))
+            // A woken busy-wait register re-arbitrates from its wakeup
+            // cycle, so that is when its (high-priority) queue wait began.
+            Phase::WaitingLock { op, bus_op, since, retries, issued_at, .. } => {
+                (*op, *bus_op, *retries, Some(*since), self.woken_at[i], *issued_at)
             }
             _ => unreachable!("chosen processor has a request"),
         };
@@ -551,6 +668,11 @@ impl<P: Protocol> System<P> {
             self.registers[i].disarm();
             self.stats.locks.wakeups += 1;
         }
+        // Lock wait accumulated so far and arbitration wait for this grant;
+        // both are pure functions of grant cycles, hence identical across
+        // engine modes.
+        let waited = wait_since.map_or(0, |s| self.now.saturating_sub(s));
+        let arb_wait = self.now.saturating_sub(queued_at);
 
         // Re-evaluate the access against the *current* line state: while
         // the request was queued, snooped transactions may have invalidated
@@ -563,12 +685,15 @@ impl<P: Protocol> System<P> {
         if op.kind == AccessKind::UnlockWrite
             && self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(i))
         {
-            match self.execute_txn(i, op, BusOp::UnlockBroadcast, hi)? {
+            match self.execute_txn(i, op, BusOp::UnlockBroadcast, hi, waited, arb_wait)? {
                 TxnOut::Completed { mut result, duration } => {
                     result.retries = retries;
                     result.latency = duration;
                     self.stats.bus.busy_cycles += duration;
                     self.bus_free_at = self.now + duration;
+                    if let Some(h) = &mut self.hists {
+                        h.miss_service.record(self.now + duration - issued_at);
+                    }
                     self.phases[i] = Phase::InFlight { op, until: self.now + duration, result };
                 }
                 _ => unreachable!("unlock broadcasts always complete"),
@@ -579,6 +704,9 @@ impl<P: Protocol> System<P> {
         // instead of converting into a full fetch (the steal violated the
         // optimistic RMW's atomicity).
         if op.kind == AccessKind::WriteIfOwned && !state.descriptor().is_valid() {
+            if let Some(h) = &mut self.hists {
+                h.miss_service.record(self.now - issued_at + 1);
+            }
             let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
             workload.complete(ProcId(i), &op, &result, self.now);
             self.phases[i] = Phase::Computing { until: self.now + 1 };
@@ -591,23 +719,31 @@ impl<P: Protocol> System<P> {
             ProcAction::Hit { next } => {
                 // The access can now complete locally; no transaction.
                 let _ = bus_op;
-                self.apply_local_hit(i, op, state, next, workload)?;
+                if let Some(h) = &mut self.hists {
+                    h.miss_service.record(self.now - issued_at + 1);
+                }
+                self.apply_local_hit(i, op, state, next, waited, workload)?;
                 self.phases[i] = Phase::Computing { until: self.now + 1 };
                 return Ok(());
             }
         };
 
-        match self.execute_txn(i, op, bus_op, hi)? {
+        match self.execute_txn(i, op, bus_op, hi, waited, arb_wait)? {
             TxnOut::Completed { mut result, duration } => {
                 result.retries = retries;
-                if let Some(since) = wait_since {
-                    let waited = self.now.saturating_sub(since);
+                if wait_since.is_some() {
                     self.stats.locks.max_wait_cycles = self.stats.locks.max_wait_cycles.max(waited);
                     self.stats.locks.total_wait_cycles += waited;
+                    if let Some(h) = &mut self.hists {
+                        h.busy_wait.record(waited);
+                    }
                 }
                 result.latency = duration;
                 self.stats.bus.busy_cycles += duration;
                 self.bus_free_at = self.now + duration;
+                if let Some(h) = &mut self.hists {
+                    h.miss_service.record(self.now + duration - issued_at);
+                }
                 self.phases[i] =
                     Phase::InFlight { op, until: self.now + duration, result };
             }
@@ -624,12 +760,21 @@ impl<P: Protocol> System<P> {
                 let new_state = self.caches[i].state_of(block);
                 match self.protocol.proc_access(new_state, op.kind) {
                     ProcAction::Bus { op: bus_op2 } => {
-                        self.phases[i] =
-                            Phase::Pending { op, bus_op: bus_op2, retries: retries + 1, wait_since };
+                        self.phases[i] = Phase::Pending {
+                            op,
+                            bus_op: bus_op2,
+                            retries: retries + 1,
+                            wait_since,
+                            queued_at: self.now,
+                            issued_at,
+                        };
                     }
                     ProcAction::Hit { next } => {
                         // The second half completes locally (rare).
-                        self.apply_local_hit(i, op, new_state, next, workload)?;
+                        if let Some(h) = &mut self.hists {
+                            h.miss_service.record(self.now + duration - issued_at);
+                        }
+                        self.apply_local_hit(i, op, new_state, next, waited, workload)?;
                         self.phases[i] = Phase::Computing { until: self.now + duration };
                     }
                 }
@@ -641,13 +786,20 @@ impl<P: Protocol> System<P> {
                 }
                 self.stats.bus.busy_cycles += duration;
                 self.bus_free_at = self.now + duration;
-                self.phases[i] = Phase::Pending { op, bus_op, retries: retries + 1, wait_since };
+                self.phases[i] = Phase::Pending {
+                    op,
+                    bus_op,
+                    retries: retries + 1,
+                    wait_since,
+                    queued_at: self.now,
+                    issued_at,
+                };
             }
             TxnOut::Denied { duration } => {
                 let block = self.geometry.block_of(op.addr);
                 self.stats.locks.denied += 1;
                 self.registers[i].arm(block);
-                self.trace.push(self.now, Event::WaiterArmed { cache: CacheId(i), block });
+                self.emit(self.now, Event::WaiterArmed { cache: CacheId(i), block });
                 let behavior = workload.on_lock_wait(ProcId(i), block, self.now);
                 self.stats.bus.busy_cycles += duration;
                 self.bus_free_at = self.now + duration;
@@ -658,24 +810,33 @@ impl<P: Protocol> System<P> {
                     behavior,
                     worked: 0,
                     retries,
+                    issued_at,
                 };
             }
         }
         Ok(())
     }
 
-    /// Executes one bus transaction atomically.
+    /// Executes one bus transaction atomically. `waited` is the requester's
+    /// accumulated lock wait (for acquire-latency histograms); `arb_wait`
+    /// is how long this request sat in the arbitration queue before the
+    /// grant.
     fn execute_txn(
         &mut self,
         req: usize,
         op: ProcOp,
         bus_op: BusOp,
         hi: bool,
+        waited: u64,
+        arb_wait: u64,
     ) -> Result<TxnOut, SimError> {
         let block = self.geometry.block_of(op.addr);
         let txn = BusTxn { op: bus_op, block, requester: AgentId::Cache(CacheId(req)), high_priority: hi };
 
         self.stats.bus.txns += 1;
+        if let Some(h) = &mut self.hists {
+            h.bus_arb_wait.record(arb_wait);
+        }
         *self.stats.bus.by_op.entry(bus_op.mnemonic()).or_default() += 1;
         if hi {
             self.stats.bus.high_priority_grants += 1;
@@ -704,7 +865,7 @@ impl<P: Protocol> System<P> {
                 self.memory.write_block(block, &data);
                 self.stats.sources.flushes += 1;
                 snoop_flush_count += 1;
-                self.trace.push(self.now, Event::Flush { cache: CacheId(j), block });
+                self.emit(self.now, Event::Flush { cache: CacheId(j), block });
             }
             let bd = before.descriptor();
             let ad = outcome.next.descriptor();
@@ -781,28 +942,28 @@ impl<P: Protocol> System<P> {
                 } else {
                     self.timing.signal_txn()
                 };
-                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, Event::Bus { txn, summary, duration });
                 Ok(TxnOut::Retried { duration })
             }
             CompleteOutcome::LockDenied => {
                 let duration = self.timing.signal_txn();
-                self.trace.push(self.now, Event::Bus { txn, summary, duration });
-                self.trace.push(self.now, Event::LockDenied { cache: CacheId(req), block });
+                self.emit(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, Event::LockDenied { cache: CacheId(req), block });
                 Ok(TxnOut::Denied { duration })
             }
             CompleteOutcome::Installed { next } => {
                 let (result, duration) = self
-                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, true)?;
+                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, true, waited)?;
                 let duration = duration + flush_extra;
-                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, Event::Bus { txn, summary, duration });
                 self.check_block_invariants(block)?;
                 Ok(TxnOut::Completed { result, duration })
             }
             CompleteOutcome::InstalledRetryOp { next } => {
                 let (_, duration) = self
-                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, false)?;
+                    .install(req, op, bus_op, state, next, &summary, supplier, had_valid, false, waited)?;
                 let duration = duration + flush_extra;
-                self.trace.push(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, Event::Bus { txn, summary, duration });
                 self.check_block_invariants(block)?;
                 Ok(TxnOut::InstalledRetry { duration })
             }
@@ -823,6 +984,7 @@ impl<P: Protocol> System<P> {
         supplier: Option<usize>,
         had_valid: bool,
         apply_op: bool,
+        waited: u64,
     ) -> Result<(AccessResult, u64), SimError> {
         let block = self.geometry.block_of(op.addr);
         let words = self.geometry.words_per_block();
@@ -849,7 +1011,7 @@ impl<P: Protocol> System<P> {
                     let data = match &supplier_data {
                         Some((data, _)) => {
                             self.stats.sources.from_cache += 1;
-                            self.trace.push(
+                            self.emit(
                                 self.now,
                                 Event::CacheProvides {
                                     cache: CacheId(supplier.unwrap()),
@@ -864,7 +1026,7 @@ impl<P: Protocol> System<P> {
                                 return Err(SimError::NoDataSource { block });
                             }
                             self.stats.sources.from_memory += 1;
-                            self.trace.push(self.now, Event::MemoryProvides { block });
+                            self.emit(self.now, Event::MemoryProvides { block });
                             self.memory.read_block(block)
                         }
                     };
@@ -929,7 +1091,7 @@ impl<P: Protocol> System<P> {
                     self.memory_locks.remove(&block);
                     self.stats.locks.releases += 1;
                     self.lock_oracle_release(block, CacheId(req))?;
-                    self.trace.push(
+                    self.emit(
                         self.now,
                         Event::LockReleased { cache: CacheId(req), block, broadcast: true },
                     );
@@ -1032,8 +1194,11 @@ impl<P: Protocol> System<P> {
         let after_d = next.descriptor();
         if op.kind == AccessKind::LockRead && after_d.is_locked() && !before_d.is_locked() {
             self.stats.locks.acquires += 1;
+            if let Some(h) = &mut self.hists {
+                h.lock_acquire_wait.record(waited);
+            }
             self.lock_oracle_acquire(block, CacheId(req))?;
-            self.trace.push(
+            self.emit(
                 self.now,
                 Event::LockAcquired { cache: CacheId(req), block, zero_time: false },
             );
@@ -1041,7 +1206,7 @@ impl<P: Protocol> System<P> {
         if op.kind == AccessKind::UnlockWrite && before_d.is_locked() && !after_d.is_locked() {
             self.stats.locks.releases += 1;
             self.lock_oracle_release(block, CacheId(req))?;
-            self.trace.push(
+            self.emit(
                 self.now,
                 Event::LockReleased {
                     cache: CacheId(req),
@@ -1081,7 +1246,8 @@ impl<P: Protocol> System<P> {
     fn broadcast_unlock(&mut self, block: BlockAddr, req: usize) {
         for j in 0..self.registers.len() {
             if j != req && self.registers[j].observe_unlock(block) {
-                self.trace.push(self.now, Event::WaiterWoken { cache: CacheId(j), block });
+                self.woken_at[j] = self.now;
+                self.emit(self.now, Event::WaiterWoken { cache: CacheId(j), block });
             }
         }
     }
@@ -1110,14 +1276,14 @@ impl<P: Protocol> System<P> {
         if d.is_locked() {
             self.memory_locks.insert(ev.tag, (CacheId(req), d.waiter));
             self.stats.locks.lock_spills += 1;
-            self.trace.push(
+            self.emit(
                 self.now,
                 Event::Note(format!("C{req} spills lock bit for {} to memory", ev.tag)),
             );
         }
         let action = self.protocol.evict(ev.state);
         let writeback = action == EvictAction::Writeback || d.is_locked();
-        self.trace.push(self.now, Event::Eviction { cache: CacheId(req), block: ev.tag, writeback });
+        self.emit(self.now, Event::Eviction { cache: CacheId(req), block: ev.tag, writeback });
         if writeback {
             self.memory.write_block(ev.tag, &ev.data);
             self.stats.sources.flushes += 1;
@@ -1164,7 +1330,7 @@ impl<P: Protocol> System<P> {
             self.commit_write(addr, data[idx]);
         }
         let duration = self.timing.flush(self.geometry.words_per_block());
-        self.trace.push(self.now, Event::Bus { txn, summary, duration });
+        self.emit(self.now, Event::Bus { txn, summary, duration });
         self.stats.bus.busy_cycles += duration;
         self.bus_free_at = self.now.max(self.bus_free_at) + duration;
         Ok(())
@@ -1212,7 +1378,7 @@ impl<P: Protocol> System<P> {
             None => self.memory.read_block(block),
         };
         let duration = self.timing.fetch_from_memory(self.geometry.words_per_block());
-        self.trace.push(self.now, Event::Bus { txn, summary, duration });
+        self.emit(self.now, Event::Bus { txn, summary, duration });
         self.stats.bus.busy_cycles += duration;
         self.bus_free_at = self.now.max(self.bus_free_at) + duration;
         Ok(data)
@@ -1271,8 +1437,10 @@ impl<P: Protocol> System<P> {
         to: &P::State,
         cause: StateCause,
     ) {
-        if self.trace.is_enabled() {
-            self.trace.push(
+        // Gated so the `to_string` rendering cost is only paid when someone
+        // is listening (the sampler ignores state changes).
+        if self.trace.is_enabled() || !self.sinks.is_empty() {
+            self.emit(
                 self.now,
                 Event::StateChange {
                     cache,

@@ -1,16 +1,20 @@
 //! Differential tests for the event-driven time-skipping engine: for every
 //! protocol and a representative set of workloads, the event-driven mode
-//! must produce **bit-identical** [`Stats`] and an identical [`Trace`]
-//! event sequence to the cycle-accurate reference mode.
+//! must produce **bit-identical** [`Stats`], an identical [`Trace`] event
+//! sequence, identical latency histograms, and an identical interval
+//! time-series to the cycle-accurate reference mode.
 //!
 //! The skipping argument: between two events no phase machine can change
 //! state, so every skipped `step` would have been a no-op and the per-cycle
 //! accounting over the interval is a closed-form sum. These tests pin that
-//! argument against the implementation.
+//! argument against the implementation — the histograms pin the latency
+//! *endpoints* (queue, wake, grant, completion cycles), and the interval
+//! series pins that skipped spans are attributed to the right windows.
 
 use mcs_cache::CacheConfig;
 use mcs_core::{with_protocol, ProtocolKind};
 use mcs_model::{Event, Stats};
+use mcs_sim::obs::{LatencyHists, Window};
 use mcs_sim::{EngineMode, System, SystemConfig, Workload};
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::{
@@ -19,42 +23,66 @@ use mcs_workloads::{
 
 const MAX_CYCLES: u64 = 2_000_000;
 
+/// Interval-sampler window for the differential runs: deliberately not a
+/// divisor or multiple of any timing constant, so event-driven skips
+/// straddle window boundaries and exercise span splitting.
+const WINDOW: u64 = 300;
+
+/// Everything one engine-mode run produces.
+struct RunOutput {
+    stats: Stats,
+    trace: Vec<(u64, Event)>,
+    hists: LatencyHists,
+    timeline: Vec<Window>,
+}
+
 /// Runs a fresh workload from `make` on `kind` under `mode`, returning the
-/// final statistics and the full trace event sequence.
+/// final statistics, the full trace event sequence, the latency
+/// histograms, and the interval time-series.
 fn run_mode<W: Workload>(
     kind: ProtocolKind,
     mode: EngineMode,
     procs: usize,
     words: usize,
     make: impl FnOnce() -> W,
-) -> (Stats, Vec<(u64, Event)>) {
+) -> RunOutput {
     let cache = CacheConfig::fully_associative(64, words).expect("valid cache");
     let mut w = make();
     with_protocol!(kind, p => {
         let cfg = SystemConfig::new(procs)
             .with_cache(cache)
             .with_trace(true)
+            .with_histograms(true)
+            .with_timeline(WINDOW)
             .with_engine(mode);
         let mut sys = System::new(p, cfg).expect("valid system");
         let stats = sys
             .run_workload(&mut w, MAX_CYCLES)
             .unwrap_or_else(|e| panic!("{kind} ({mode:?}): {e}"));
-        (stats, sys.trace().events().to_vec())
+        RunOutput {
+            stats,
+            trace: sys.trace().to_vec(),
+            hists: sys.histograms().expect("histograms enabled").clone(),
+            timeline: sys.timeline().expect("timeline enabled").windows().to_vec(),
+        }
     })
 }
 
 /// Asserts both engine modes agree on `kind` for the workload `make`.
 fn assert_equivalent<W: Workload>(kind: ProtocolKind, procs: usize, make: impl Fn() -> W) {
     let words = if kind.requires_word_blocks() { 1 } else { 4 };
-    let (ref_stats, ref_trace) =
-        run_mode(kind, EngineMode::CycleAccurate, procs, words, &make);
-    let (ev_stats, ev_trace) = run_mode(kind, EngineMode::EventDriven, procs, words, &make);
-    assert_eq!(ref_trace.len(), ev_trace.len(), "{kind}: trace length diverged");
-    for (i, (r, e)) in ref_trace.iter().zip(&ev_trace).enumerate() {
+    let reference = run_mode(kind, EngineMode::CycleAccurate, procs, words, &make);
+    let event = run_mode(kind, EngineMode::EventDriven, procs, words, &make);
+    assert_eq!(reference.trace.len(), event.trace.len(), "{kind}: trace length diverged");
+    for (i, (r, e)) in reference.trace.iter().zip(&event.trace).enumerate() {
         assert_eq!(r, e, "{kind}: trace event {i} diverged");
     }
-    assert_eq!(ref_stats, ev_stats, "{kind}: stats diverged");
-    assert!(ref_stats.total_refs() > 0, "{kind}: workload must do real work");
+    assert_eq!(reference.stats, event.stats, "{kind}: stats diverged");
+    for ((name, r), (_, e)) in reference.hists.named().iter().zip(event.hists.named().iter()) {
+        assert_eq!(r, e, "{kind}: `{name}` histogram diverged");
+    }
+    assert_eq!(reference.timeline, event.timeline, "{kind}: interval time-series diverged");
+    assert!(reference.stats.total_refs() > 0, "{kind}: workload must do real work");
 }
 
 /// The lock scheme each protocol can run: the paper's cache-state lock on
@@ -189,10 +217,10 @@ fn ready_section_accrues_exactly_c_useful_cycles() {
             .work_while_waiting(READY_SECTION)
             .build()
     };
-    let (ev_stats, _) =
-        run_mode(ProtocolKind::BitarDespain, EngineMode::EventDriven, 2, 4, make);
-    let (ref_stats, _) =
-        run_mode(ProtocolKind::BitarDespain, EngineMode::CycleAccurate, 2, 4, make);
+    let ev_stats =
+        run_mode(ProtocolKind::BitarDespain, EngineMode::EventDriven, 2, 4, make).stats;
+    let ref_stats =
+        run_mode(ProtocolKind::BitarDespain, EngineMode::CycleAccurate, 2, 4, make).stats;
     assert_eq!(ev_stats, ref_stats, "modes diverged");
     let useful: u64 = ev_stats.per_proc.iter().map(|p| p.useful_wait_cycles).sum();
     assert!(ev_stats.locks.denied > 0, "workload must contend");

@@ -31,6 +31,11 @@ impl LockSchemeKind {
         }
     }
 
+    /// Parses a CLI identifier (the inverse of [`id`](Self::id)).
+    pub fn from_id(id: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.id() == id)
+    }
+
     /// The operation releasing the lock at `addr`, storing `value` in the
     /// atom's first word.
     ///
