@@ -1,14 +1,33 @@
 #!/usr/bin/env bash
-# Offline CI for the mcs workspace: release build, full test suite
-# (including the perf smoke tests and the engine equivalence suite), clippy
-# with warnings denied, and an observability smoke run. No network access
-# required or attempted.
+# Offline CI for the mcs workspace: feature-matrix release builds, the full
+# test suite with debug-checks active, clippy with warnings denied, a perf
+# smoke against the committed hot-path baselines, and an observability
+# smoke run. No network access required or attempted.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Feature matrix. A workspace-wide build unifies mcs-sim's default
+# `debug-checks` feature on (the `mcs` root package re-enables it), so the
+# oracles and invariant sweeps compile everywhere tests run. Building
+# mcs-sim and mcs-bench alone exercises the benchmark configuration, where
+# the workspace dependency's `default-features = false` leaves the checks
+# out of the simulator entirely. The -p mcs-bench build runs last so the
+# bench_engine/obsreport binaries left in target/release are the
+# checks-off ones the smoke steps below should measure.
 cargo build --release --offline --workspace
+cargo build --release --offline -p mcs-sim --no-default-features
+cargo build --release --offline -p mcs-bench
+
+# Tier-1 tests (dev profile), with debug-checks on via unification: every
+# transaction runs the write oracle, the snoop-filter exactness sweep, and
+# the replacement flag-mirror consistency check.
 cargo test -q --offline --workspace
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# Perf smoke: require random-sharing throughput to stay above half the
+# committed BENCH_hotpath.json figure. Generous on purpose — it catches
+# "the hot path fell off a cliff", not noise.
+./target/release/bench_engine --smoke BENCH_hotpath.json
 
 # Observability smoke: export a JSONL trace for two E2 contenders and pipe
 # each through the in-tree validator (every line parses, meta header first,

@@ -26,20 +26,30 @@
 //!   enabled, and with full JSONL event serialization; written to
 //!   `BENCH_obs.json`. The disabled configuration must stay within noise
 //!   of the pre-observability engine.
+//! * **Hot path** — event-driven throughput of each workload family
+//!   against the recorded pre-overhaul (PR 3) numbers, written to
+//!   `BENCH_hotpath.json`. This is the benchmark for the SoA cache
+//!   arrays, the holder-bitmask snoop filter, lazy event construction
+//!   and the compiled-out debug checks (build this crate alone —
+//!   `-p mcs-bench` — so the `debug-checks` feature stays off).
 //!
 //! Reproduce with `cargo run --release -p mcs-bench --bin bench_engine`.
+//! With `--smoke [path]` it instead runs a quick perf smoke against the
+//! committed `BENCH_hotpath.json`: re-measures the event-dense
+//! random-sharing workload and exits nonzero if throughput falls below
+//! **half** the recorded figure (a generous floor — it catches order-of-
+//! magnitude regressions, not machine-to-machine noise).
 
 use mcs_bench::experiments::{self, e2_locking, e3_busywait, run_cs};
+use mcs_bench::harness::{time, RunSpec};
 use mcs_bench::sweep;
-use mcs_cache::CacheConfig;
 use mcs_core::ProtocolKind;
-use mcs_obs::{JsonlSink, RunMeta};
-use mcs_sim::{EngineMode, System, SystemConfig};
+use mcs_obs::{EventSink, JsonlSink, RunMeta};
+use mcs_sim::EngineMode;
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::{
     CriticalSectionWorkload, ProducerConsumerWorkload, RandomSharingConfig, RandomSharingWorkload,
 };
-use std::time::Instant;
 
 /// Think time for benchmark-scale critical sections. The stock E2/E3 test
 /// settings (think 10-30) maximize contention to make the paper's claims
@@ -61,17 +71,11 @@ impl Measurement {
     }
 }
 
-fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
-    let t = Instant::now();
-    let r = f();
-    (r, t.elapsed().as_secs_f64())
-}
-
 // ---- workload throughput ------------------------------------------------
 
-fn critical_section(mode: EngineMode) -> u64 {
-    let cache = CacheConfig::fully_associative(64, 4).expect("valid cache");
-    let mut w = CriticalSectionWorkload::builder()
+/// The throughput critical-section workload (also the obs-overhead one).
+fn cs_bench_workload() -> CriticalSectionWorkload {
+    CriticalSectionWorkload::builder()
         .scheme(LockSchemeKind::CacheLock)
         .words_per_block(4)
         .locks(1)
@@ -80,27 +84,26 @@ fn critical_section(mode: EngineMode) -> u64 {
         .payload_writes(2)
         .think_cycles(BENCH_THINK)
         .iterations(500)
-        .build();
-    let cfg = SystemConfig::new(4).with_cache(cache).with_engine(mode);
-    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
-    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+        .build()
+}
+
+fn critical_section(mode: EngineMode) -> u64 {
+    let mut w = cs_bench_workload();
+    RunSpec::new(ProtocolKind::BitarDespain).engine(mode).run(&mut w, None).stats.cycles
+}
+
+fn random_sharing_workload(refs_per_proc: usize) -> RandomSharingWorkload {
+    RandomSharingWorkload::new(RandomSharingConfig { refs_per_proc, ..Default::default() })
 }
 
 fn random_sharing(mode: EngineMode) -> u64 {
-    let cfg = SystemConfig::new(4).with_engine(mode);
-    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
-    let mut w = RandomSharingWorkload::new(RandomSharingConfig {
-        refs_per_proc: 100_000,
-        ..Default::default()
-    });
-    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+    let mut w = random_sharing_workload(100_000);
+    RunSpec::new(ProtocolKind::BitarDespain).engine(mode).run(&mut w, None).stats.cycles
 }
 
 fn producer_consumer(mode: EngineMode) -> u64 {
-    let cfg = SystemConfig::new(4).with_engine(mode);
-    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
     let mut w = ProducerConsumerWorkload::new(10_000, 3, 100);
-    sys.run_workload(&mut w, 300_000_000).expect("run").cycles
+    RunSpec::new(ProtocolKind::BitarDespain).engine(mode).run(&mut w, None).stats.cycles
 }
 
 fn measure_workload(
@@ -206,28 +209,14 @@ impl ObsConfig {
 
 /// The critical-section throughput workload under one obs configuration.
 fn obs_workload(config: ObsConfig) -> u64 {
-    let cache = CacheConfig::fully_associative(64, 4).expect("valid cache");
-    let mut w = CriticalSectionWorkload::builder()
-        .scheme(LockSchemeKind::CacheLock)
-        .words_per_block(4)
-        .locks(1)
-        .payload_blocks(1)
-        .payload_reads(2)
-        .payload_writes(2)
-        .think_cycles(BENCH_THINK)
-        .iterations(500)
-        .build();
-    let mut cfg = SystemConfig::new(4).with_cache(cache);
+    let mut w = cs_bench_workload();
+    let mut spec = RunSpec::new(ProtocolKind::BitarDespain);
     if matches!(config, ObsConfig::HistogramsOnly | ObsConfig::JsonlSink) {
-        cfg = cfg.with_histograms(true).with_timeline(1_000);
+        spec = spec.histograms().timeline(1_000);
     }
-    let mut sys = System::new(mcs_core::BitarDespain, cfg).expect("valid system");
-    if matches!(config, ObsConfig::JsonlSink) {
-        sys.add_sink(Box::new(JsonlSink::new(std::io::sink(), &RunMeta::new())));
-    }
-    let cycles = sys.run_workload(&mut w, 300_000_000).expect("run").cycles;
-    sys.finish_sinks();
-    cycles
+    let sink: Option<Box<dyn EventSink>> = matches!(config, ObsConfig::JsonlSink)
+        .then(|| Box::new(JsonlSink::new(std::io::sink(), &RunMeta::new())) as Box<dyn EventSink>);
+    spec.run(&mut w, sink).stats.cycles
 }
 
 struct ObsMeasurement {
@@ -276,6 +265,153 @@ fn obs_json_entry(m: &ObsMeasurement, baseline_s: f64) -> String {
     )
 }
 
+// ---- hot path vs recorded baseline --------------------------------------
+
+/// Event-driven throughput recorded by the PR 3 binary (the
+/// `after_cycles_per_wall_s` column of its committed `BENCH_engine.json`),
+/// before the SoA cache arrays, the holder-bitmask snoop filter, lazy
+/// event construction and the compiled-out debug checks.
+const HOTPATH_BASELINE: [(&str, f64); 3] = [
+    ("critical_section", 862_902_976.0),
+    ("random_sharing", 4_958_493.0),
+    ("producer_consumer", 6_840_910.0),
+];
+
+struct HotpathMeasurement {
+    name: &'static str,
+    sim_cycles: u64,
+    wall_s: f64,
+    baseline: f64,
+}
+
+impl HotpathMeasurement {
+    fn throughput(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_s
+    }
+
+    fn speedup(&self) -> f64 {
+        self.throughput() / self.baseline
+    }
+}
+
+/// Times `run` on the event-driven engine over `reps` repetitions, keeping
+/// the fastest wall time.
+fn measure_hotpath(
+    name: &'static str,
+    reps: usize,
+    run: impl Fn(EngineMode) -> u64,
+) -> HotpathMeasurement {
+    let baseline = HOTPATH_BASELINE
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, b)| b)
+        .expect("baseline recorded for every hotpath workload");
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..reps {
+        let (c, s) = time(|| run(EngineMode::EventDriven));
+        cycles = c;
+        best = best.min(s);
+    }
+    HotpathMeasurement { name, sim_cycles: cycles, wall_s: best, baseline }
+}
+
+fn hotpath_json_entry(m: &HotpathMeasurement) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"sim_cycles\": {},\n",
+            "      \"wall_s\": {:.6},\n",
+            "      \"cycles_per_wall_s\": {:.0},\n",
+            "      \"baseline_cycles_per_wall_s\": {:.0},\n",
+            "      \"speedup_vs_baseline\": {:.2}\n",
+            "    }}"
+        ),
+        m.name,
+        m.sim_cycles,
+        m.wall_s,
+        m.throughput(),
+        m.baseline,
+        m.speedup(),
+    )
+}
+
+fn run_hotpath_section(path: &str) {
+    let measurements = vec![
+        measure_hotpath("critical_section", 5, critical_section),
+        measure_hotpath("random_sharing", 3, random_sharing),
+        measure_hotpath("producer_consumer", 3, producer_consumer),
+    ];
+    for m in &measurements {
+        println!(
+            "  hotpath  {:>18}: {:>9} cycles  wall {:.3}s  {:>12.0} cycles/s  vs PR3 {:.2}x",
+            m.name,
+            m.sim_cycles,
+            m.wall_s,
+            m.throughput(),
+            m.speedup(),
+        );
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(
+        "  \"baseline\": \"PR 3 event-driven engine (BENCH_engine.json after_cycles_per_wall_s)\",\n",
+    );
+    out.push_str(
+        "  \"reproduce\": \"cargo run --release -p mcs-bench --bin bench_engine\",\n",
+    );
+    out.push_str("  \"workloads\": [\n");
+    let entries: Vec<String> = measurements.iter().map(hotpath_json_entry).collect();
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+// ---- perf smoke ----------------------------------------------------------
+
+/// Pulls `"cycles_per_wall_s"` for the named workload out of a
+/// `BENCH_hotpath.json` (hand-rolled to keep the workspace free of a JSON
+/// dependency; the file is generated by this same binary, so the shape is
+/// known).
+fn recorded_throughput(json: &str, name: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{name}\""))?;
+    let key = "\"cycles_per_wall_s\": ";
+    let rest = &json[at..];
+    let tail = &rest[rest.find(key)? + key.len()..];
+    let end = tail.find(|c: char| !c.is_ascii_digit() && c != '.')?;
+    tail[..end].parse().ok()
+}
+
+/// Quick perf smoke for CI: re-measure the event-dense random-sharing
+/// workload and fail if throughput drops below half the recorded
+/// `BENCH_hotpath.json` figure. Exits the process.
+fn run_smoke(path: &str) -> ! {
+    let json = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("smoke: cannot read {path}: {e}"));
+    let recorded = recorded_throughput(&json, "random_sharing")
+        .unwrap_or_else(|| panic!("smoke: no random_sharing cycles_per_wall_s in {path}"));
+    let floor = recorded / 2.0;
+    let mut best = f64::INFINITY;
+    let mut cycles = 0;
+    for _ in 0..3 {
+        let (c, s) = time(|| random_sharing(EngineMode::EventDriven));
+        cycles = c;
+        best = best.min(s);
+    }
+    let measured = cycles as f64 / best;
+    println!(
+        "perf smoke: random_sharing {measured:.0} cycles/wall-s (recorded {recorded:.0}, floor {floor:.0})"
+    );
+    if measured < floor {
+        eprintln!("perf smoke FAILED: event-dense throughput below half the recorded baseline");
+        std::process::exit(1);
+    }
+    println!("perf smoke passed");
+    std::process::exit(0);
+}
+
 // ---- report -------------------------------------------------------------
 
 fn json_entry(m: &Measurement) -> String {
@@ -304,6 +440,12 @@ fn json_entry(m: &Measurement) -> String {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--smoke") {
+        let path = args.get(2).cloned().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+        run_smoke(&path);
+    }
+
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("engine benchmark: before = cycle-accurate + serial sweep, after = event-driven + {threads}-thread sweep");
 
@@ -404,4 +546,11 @@ fn main() {
     let obs_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_obs.json".to_string());
     std::fs::write(&obs_path, out).expect("write BENCH_obs.json");
     println!("wrote {obs_path}");
+
+    // Hot path: event-driven throughput of each workload family against
+    // the recorded PR 3 figures (this section is what `--smoke` checks a
+    // committed result of).
+    let hotpath_path =
+        std::env::args().nth(3).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    run_hotpath_section(&hotpath_path);
 }

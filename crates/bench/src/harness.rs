@@ -1,0 +1,182 @@
+//! Shared run harness: one place that builds a system from a compact spec,
+//! runs a workload on it, and collects every observability output.
+//!
+//! Both the engine benchmark (`bench_engine`) and the observed-run library
+//! ([`crate::obsrun`]) used to hand-roll the same cache-config /
+//! system-config / run / collect sequence; they now both go through
+//! [`RunSpec::run`], so a change to how benchmark systems are constructed
+//! (a new config knob, a different default geometry) lands in one place.
+
+use mcs_cache::CacheConfig;
+use mcs_core::{with_protocol, ProtocolKind};
+use mcs_model::Stats;
+use mcs_obs::{EventSink, IntervalSampler, LatencyHists};
+use mcs_sim::{EngineMode, System, SystemConfig, Workload};
+use std::time::Instant;
+
+/// Times a closure, returning its result and the elapsed wall seconds.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64())
+}
+
+/// Compact description of one benchmark/observed system: protocol, scale,
+/// cache geometry, engine mode and which observability outputs to record.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    kind: ProtocolKind,
+    procs: usize,
+    cache_blocks: usize,
+    words_per_block: usize,
+    engine: EngineMode,
+    histograms: bool,
+    timeline_window: Option<u64>,
+    max_cycles: u64,
+}
+
+/// Everything one harness run produces.
+#[derive(Debug, Clone)]
+pub struct HarnessRun {
+    /// Scalar statistics.
+    pub stats: Stats,
+    /// Latency histograms, when the spec enabled them.
+    pub hists: Option<LatencyHists>,
+    /// Interval time-series, when the spec enabled it.
+    pub timeline: Option<IntervalSampler>,
+}
+
+impl RunSpec {
+    /// A 4-processor system on `kind` with the benchmark default geometry
+    /// (64 fully-associative blocks, word blocks where the protocol needs
+    /// them), the default engine, no observability, and a generous cycle
+    /// ceiling (hitting it means a deadlock).
+    pub fn new(kind: ProtocolKind) -> Self {
+        RunSpec {
+            kind,
+            procs: 4,
+            cache_blocks: 64,
+            words_per_block: if kind.requires_word_blocks() { 1 } else { 4 },
+            engine: EngineMode::default(),
+            histograms: false,
+            timeline_window: None,
+            max_cycles: 300_000_000,
+        }
+    }
+
+    /// Sets the number of processors.
+    pub fn procs(mut self, procs: usize) -> Self {
+        self.procs = procs;
+        self
+    }
+
+    /// Selects the time-advance engine.
+    pub fn engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables latency histograms.
+    pub fn histograms(mut self) -> Self {
+        self.histograms = true;
+        self
+    }
+
+    /// Enables the interval time-series with the given window.
+    pub fn timeline(mut self, window_cycles: u64) -> Self {
+        self.timeline_window = Some(window_cycles);
+        self
+    }
+
+    /// Caps the run at `max_cycles` simulated cycles.
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// The words-per-block this spec resolved for its protocol.
+    pub fn words_per_block(&self) -> usize {
+        self.words_per_block
+    }
+
+    /// Builds the system, attaches `sink` if given, runs `workload` to
+    /// completion and collects the outputs. Panics on simulation errors —
+    /// a benchmark or observed run failing is a bug, not a condition to
+    /// handle.
+    pub fn run<W: Workload>(&self, workload: &mut W, sink: Option<Box<dyn EventSink>>) -> HarnessRun {
+        let cache = CacheConfig::fully_associative(self.cache_blocks, self.words_per_block)
+            .expect("valid cache geometry");
+        with_protocol!(self.kind, p => {
+            let mut cfg = SystemConfig::new(self.procs).with_cache(cache).with_engine(self.engine);
+            if self.histograms {
+                cfg = cfg.with_histograms(true);
+            }
+            if let Some(window) = self.timeline_window {
+                cfg = cfg.with_timeline(window);
+            }
+            let mut sys = System::new(p, cfg).expect("valid system");
+            if let Some(sink) = sink {
+                sys.add_sink(sink);
+            }
+            let stats = sys
+                .run_workload(workload, self.max_cycles)
+                .unwrap_or_else(|e| panic!("{} harness run failed: {e}", self.kind));
+            sys.finish_sinks();
+            HarnessRun {
+                stats,
+                hists: sys.histograms().cloned(),
+                timeline: sys.timeline().cloned(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcs_sync::LockSchemeKind;
+    use mcs_workloads::CriticalSectionWorkload;
+
+    fn tiny_cs() -> CriticalSectionWorkload {
+        CriticalSectionWorkload::builder()
+            .scheme(LockSchemeKind::CacheLock)
+            .words_per_block(4)
+            .locks(1)
+            .payload_blocks(1)
+            .payload_reads(2)
+            .payload_writes(2)
+            .think_cycles(10)
+            .iterations(3)
+            .build()
+    }
+
+    #[test]
+    fn spec_defaults_resolve_block_size_from_protocol() {
+        assert_eq!(RunSpec::new(ProtocolKind::BitarDespain).words_per_block(), 4);
+        assert_eq!(RunSpec::new(ProtocolKind::RudolphSegall).words_per_block(), 1);
+    }
+
+    #[test]
+    fn run_collects_requested_outputs() {
+        let base = RunSpec::new(ProtocolKind::BitarDespain);
+        let plain = base.clone().run(&mut tiny_cs(), None);
+        assert!(plain.stats.cycles > 0);
+        assert!(plain.hists.is_none());
+        assert!(plain.timeline.is_none());
+        let observed = base.histograms().timeline(100).run(&mut tiny_cs(), None);
+        assert_eq!(observed.stats, plain.stats, "observability must not change behaviour");
+        assert!(observed.hists.is_some());
+        assert!(observed.timeline.is_some());
+    }
+
+    #[test]
+    fn engine_modes_agree_through_the_harness() {
+        let ev = RunSpec::new(ProtocolKind::BitarDespain)
+            .engine(EngineMode::EventDriven)
+            .run(&mut tiny_cs(), None);
+        let cc = RunSpec::new(ProtocolKind::BitarDespain)
+            .engine(EngineMode::CycleAccurate)
+            .run(&mut tiny_cs(), None);
+        assert_eq!(ev.stats, cc.stats);
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod harness;
 pub mod obsrun;
 pub mod report;
 pub mod sweep;

@@ -8,11 +8,10 @@
 //! experiments (E2 locking cost, E3 efficient busy wait) so a JSONL trace
 //! or timeline can be read side by side with the corresponding report row.
 
-use mcs_cache::CacheConfig;
-use mcs_core::{with_protocol, ProtocolKind};
+use crate::harness::RunSpec;
+use mcs_core::ProtocolKind;
 use mcs_model::Stats;
-use mcs_obs::{IntervalSampler, JsonlSink, LatencyHists, RunMeta, SharedBuf, DEFAULT_WINDOW};
-use mcs_sim::{System, SystemConfig};
+use mcs_obs::{EventSink, IntervalSampler, JsonlSink, LatencyHists, RunMeta, SharedBuf, DEFAULT_WINDOW};
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::CriticalSectionWorkload;
 
@@ -137,36 +136,24 @@ pub struct ObservedRun {
 
 /// Executes `spec` and collects every observability output.
 pub fn run_observed(spec: &ObsSpec) -> ObservedRun {
-    let words = if spec.kind.requires_word_blocks() { 1 } else { 4 };
-    let cache = CacheConfig::fully_associative(64, words).expect("valid cache geometry");
     let buf = SharedBuf::new();
     let mut workload = spec.workload();
-    let (stats, hists, timeline) = with_protocol!(spec.kind, p => {
-        let cfg = SystemConfig::new(spec.procs)
-            .with_cache(cache)
-            .with_histograms(true)
-            .with_timeline(spec.window);
-        let mut sys = System::new(p, cfg).expect("valid system");
-        if spec.json_trace {
-            sys.add_sink(Box::new(JsonlSink::new(buf.clone(), &spec.meta())));
-        }
-        let stats = sys
-            .run_workload(&mut workload, MAX_CYCLES)
-            .unwrap_or_else(|e| panic!("{} observed run failed: {e}", spec.kind));
-        sys.finish_sinks();
-        (
-            stats,
-            sys.histograms().expect("histograms enabled").clone(),
-            sys.timeline().expect("timeline enabled").clone(),
-        )
-    });
+    let sink: Option<Box<dyn EventSink>> = spec
+        .json_trace
+        .then(|| Box::new(JsonlSink::new(buf.clone(), &spec.meta())) as Box<dyn EventSink>);
+    let run = RunSpec::new(spec.kind)
+        .procs(spec.procs)
+        .histograms()
+        .timeline(spec.window)
+        .max_cycles(MAX_CYCLES)
+        .run(&mut workload, sink);
     let jsonl = spec.json_trace.then(|| buf.contents());
     ObservedRun {
         spec: spec.clone(),
-        stats,
+        stats: run.stats,
         sections: workload.completed_sections(),
-        hists,
-        timeline,
+        hists: run.hists.expect("histograms enabled"),
+        timeline: run.timeline.expect("timeline enabled"),
         jsonl,
     }
 }

@@ -34,4 +34,4 @@ pub use busywait::{BusyWaitRegister, BwPhase};
 pub use config::CacheConfig;
 pub use directory::DirectoryModel;
 pub use error::CacheError;
-pub use organization::{Cache, EvictedLine, Line};
+pub use organization::{Cache, EvictedLine, LineMut, LineRef};

@@ -1,38 +1,63 @@
 //! The tagged, set-associative cache data store.
+//!
+//! # Layout
+//!
+//! The store is a flat structure-of-arrays slab: contiguous tag /
+//! occupancy / state / replacement-flag / LRU-clock arrays of
+//! `sets × ways` entries and two contiguous payload slabs (block data
+//! words and per-transfer-unit dirty bits), indexed by
+//! `frame = set * ways + way`. Set selection is a single mask (`sets` is a
+//! power of two). Probes resolve through a self-verifying MRU hint backed
+//! by a block → frame hash index, so neither hits nor misses scan tags;
+//! only allocation into a full set walks the set, and that walk reads the
+//! mirrored `valid` / `locked` flag arrays instead of calling into the
+//! protocol state.
+//!
+//! Tags and data persist when a line's state becomes invalid — an *invalid
+//! copy* in the paper's vocabulary — until the frame is reused.
 
 use crate::config::CacheConfig;
 use crate::error::CacheError;
-use mcs_model::{Addr, BlockAddr, LineState, Word};
+use mcs_model::{Addr, BlockAddr, FastMap, LineState, Word};
 
-/// One cache line: a tag, a protocol state, the block's data words, and
-/// per-transfer-unit dirty bits.
-///
-/// The tag and data persist when the state becomes invalid — an *invalid
-/// copy* in the paper's vocabulary — until the frame is reused.
-#[derive(Debug, Clone)]
-pub struct Line<S> {
+/// Read-only view of one resident cache line.
+#[derive(Debug)]
+pub struct LineRef<'a, S> {
     /// The block this frame holds (valid or invalid copy).
     pub tag: BlockAddr,
     /// Protocol state.
     pub state: S,
     /// Block data.
-    pub data: Box<[Word]>,
+    pub data: &'a [Word],
     /// Per-transfer-unit dirty bits (length = `units_per_block`).
-    pub unit_dirty: Box<[bool]>,
-    last_use: u64,
+    pub unit_dirty: &'a [bool],
 }
 
-impl<S: LineState> Line<S> {
-    fn new(tag: BlockAddr, words: usize, units: usize, now: u64) -> Self {
-        Line {
-            tag,
-            state: S::invalid(),
-            data: vec![Word(0); words].into_boxed_slice(),
-            unit_dirty: vec![false; units].into_boxed_slice(),
-            last_use: now,
-        }
+impl<S> LineRef<'_, S> {
+    /// Number of dirty transfer units.
+    pub fn dirty_units(&self) -> usize {
+        self.unit_dirty.iter().filter(|d| **d).count()
     }
+}
 
+/// Mutable view of one resident cache line (data and dirty bits).
+///
+/// The protocol state is a read-only copy: state transitions go through
+/// [`Cache::set_state`], the single choke point that keeps the cache's
+/// replacement-flag arrays (`valid` / `locked`) coherent with the states.
+#[derive(Debug)]
+pub struct LineMut<'a, S> {
+    /// The block this frame holds (valid or invalid copy).
+    pub tag: BlockAddr,
+    /// Protocol state (read-only — change it via [`Cache::set_state`]).
+    pub state: S,
+    /// Block data.
+    pub data: &'a mut [Word],
+    /// Per-transfer-unit dirty bits (length = `units_per_block`).
+    pub unit_dirty: &'a mut [bool],
+}
+
+impl<S> LineMut<'_, S> {
     /// Number of dirty transfer units.
     pub fn dirty_units(&self) -> usize {
         self.unit_dirty.iter().filter(|d| **d).count()
@@ -45,17 +70,32 @@ impl<S: LineState> Line<S> {
 }
 
 /// A line evicted to make room, handed back to the simulator so it can
-/// issue the write-back the protocol requires.
+/// issue the write-back the protocol requires. The evicted block's data is
+/// written into the caller-supplied buffer (see
+/// [`Cache::ensure_frame_with`]) so steady-state eviction allocates
+/// nothing.
 #[derive(Debug, Clone)]
 pub struct EvictedLine<S> {
     /// The evicted block.
     pub tag: BlockAddr,
     /// Its state at eviction.
     pub state: S,
-    /// Its data (for the write-back).
-    pub data: Box<[Word]>,
     /// How many transfer units were dirty.
     pub dirty_units: usize,
+}
+
+/// Result of the single-pass set probe: the hit way, or where a new frame
+/// for the block would go.
+struct Probe {
+    /// Frame index of the way whose tag matches.
+    hit: Option<usize>,
+    /// First never-used way in the set.
+    empty: Option<usize>,
+    /// Best victim among non-locked resident ways, keyed by
+    /// `(is_valid, last_use)` — invalid copies first, then LRU.
+    victim: Option<(usize, (bool, u64))>,
+    /// LRU among *all* resident ways (for the spill-locked fallback).
+    victim_any: Option<(usize, u64)>,
 }
 
 /// A set-associative, LRU-replaced cache store holding protocol states of
@@ -63,14 +103,66 @@ pub struct EvictedLine<S> {
 #[derive(Debug, Clone)]
 pub struct Cache<S> {
     config: CacheConfig,
-    sets: Vec<Vec<Line<S>>>,
+    ways: usize,
+    set_mask: u64,
+    words: usize,
+    units: usize,
+    unit_words: usize,
+    tags: Box<[BlockAddr]>,
+    occupied: Box<[bool]>,
+    states: Box<[S]>,
+    /// Per-frame `descriptor().is_valid()`, mirrored from `states` at every
+    /// transition so the replacement victim walk never calls `descriptor()`.
+    valid: Box<[bool]>,
+    /// Per-frame `descriptor().is_locked()`, mirrored like `valid`.
+    locked: Box<[bool]>,
+    last_use: Box<[u64]>,
+    data: Box<[Word]>,
+    unit_dirty: Box<[bool]>,
+    resident: usize,
     clock: u64,
+    /// Block → frame index over all resident tags (globally unique: a
+    /// block maps to exactly one set, and a set never holds a tag twice).
+    /// Turns the miss-path probe — which would otherwise scan every way of
+    /// the set to conclude "absent" — into one cheap hash lookup.
+    index: FastMap<BlockAddr, u32>,
+    /// MRU probe hint: the last block found (or installed) and its frame.
+    /// Purely an accelerator — every use re-verifies the tag and occupancy
+    /// at the hinted frame, so a stale hint just falls back to the scan.
+    /// `Cell` because probes are logically read-only (`&self`).
+    hint: std::cell::Cell<(BlockAddr, usize)>,
 }
 
 impl<S: LineState> Cache<S> {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        Cache { config, sets: (0..config.sets()).map(|_| Vec::new()).collect(), clock: 0 }
+        let frames = config.sets() * config.ways();
+        let words = config.geometry().words_per_block();
+        let units = config.units_per_block();
+        Cache {
+            config,
+            ways: config.ways(),
+            set_mask: (config.sets() - 1) as u64,
+            words,
+            units,
+            unit_words: config.transfer_unit_words().unwrap_or(words),
+            tags: vec![BlockAddr(u64::MAX); frames].into_boxed_slice(),
+            occupied: vec![false; frames].into_boxed_slice(),
+            states: vec![S::invalid(); frames].into_boxed_slice(),
+            valid: vec![false; frames].into_boxed_slice(),
+            locked: vec![false; frames].into_boxed_slice(),
+            last_use: vec![0; frames].into_boxed_slice(),
+            data: vec![Word(0); frames * words].into_boxed_slice(),
+            unit_dirty: vec![false; frames * units].into_boxed_slice(),
+            resident: 0,
+            clock: 0,
+            index: {
+                let mut m = FastMap::default();
+                m.reserve(frames);
+                m
+            },
+            hint: std::cell::Cell::new((BlockAddr(u64::MAX), 0)),
+        }
     }
 
     /// The cache's geometry.
@@ -78,39 +170,207 @@ impl<S: LineState> Cache<S> {
         &self.config
     }
 
-    fn set_index(&self, block: BlockAddr) -> usize {
-        (block.0 as usize) & (self.config.sets() - 1)
+    #[inline]
+    fn set_base(&self, block: BlockAddr) -> usize {
+        (block.0 & self.set_mask) as usize * self.ways
+    }
+
+    /// Frame index of the way holding `block`, if resident.
+    ///
+    /// The hot path around one access or bus transaction probes the same
+    /// block several times (present, install, state write, LRU touch,
+    /// snoop), so the MRU hint short-circuits most calls to a single
+    /// verified compare; the first probe of a block — and crucially every
+    /// *miss* probe, which a way scan could only answer by exhausting the
+    /// set — is one multiplicative-hash index lookup.
+    #[inline]
+    fn find_way(&self, block: BlockAddr) -> Option<usize> {
+        let (hb, hi) = self.hint.get();
+        if hb == block && self.tags[hi] == block && self.occupied[hi] {
+            return Some(hi);
+        }
+        let idx = *self.index.get(&block)? as usize;
+        self.hint.set((block, idx));
+        Some(idx)
+    }
+
+    /// The allocation probe: hit way, else first empty way, else the
+    /// replacement victims. Staged so the common outcomes stay cheap — a
+    /// hit is one branchless tag scan, an allocation into a non-full set
+    /// adds one early-exit walk of the occupancy bytes, and only a full
+    /// set pays for the `(is_locked, is_valid, last_use)` victim walk.
+    fn probe(&self, block: BlockAddr) -> Probe {
+        let base = self.set_base(block);
+        let mut p = Probe { hit: None, empty: None, victim: None, victim_any: None };
+        p.hit = self.find_way(block);
+        if p.hit.is_some() {
+            return p;
+        }
+        p.empty = (base..base + self.ways).find(|&idx| !self.occupied[idx]);
+        if p.empty.is_some() {
+            return p;
+        }
+        // Full set with no hit: every way is an occupied non-matching line.
+        // The mirrored flag arrays stand in for `descriptor()` here, so the
+        // walk reads three dense arrays and calls nothing.
+        for idx in base..base + self.ways {
+            let lu = self.last_use[idx];
+            if p.victim_any.is_none_or(|(_, best)| lu < best) {
+                p.victim_any = Some((idx, lu));
+            }
+            if !self.locked[idx] {
+                let key = (self.valid[idx], lu);
+                if p.victim.is_none_or(|(_, best)| key < best) {
+                    p.victim = Some((idx, key));
+                }
+            }
+        }
+        p
+    }
+
+    #[inline]
+    fn line_ref(&self, idx: usize) -> LineRef<'_, S> {
+        LineRef {
+            tag: self.tags[idx],
+            state: self.states[idx],
+            data: &self.data[idx * self.words..(idx + 1) * self.words],
+            unit_dirty: &self.unit_dirty[idx * self.units..(idx + 1) * self.units],
+        }
+    }
+
+    #[inline]
+    fn line_mut(&mut self, idx: usize) -> LineMut<'_, S> {
+        LineMut {
+            tag: self.tags[idx],
+            state: self.states[idx],
+            data: &mut self.data[idx * self.words..(idx + 1) * self.words],
+            unit_dirty: &mut self.unit_dirty[idx * self.units..(idx + 1) * self.units],
+        }
     }
 
     /// Looks up the frame holding `block` (valid **or invalid** copy).
-    pub fn lookup(&self, block: BlockAddr) -> Option<&Line<S>> {
-        self.sets[self.set_index(block)].iter().find(|l| l.tag == block)
+    pub fn lookup(&self, block: BlockAddr) -> Option<LineRef<'_, S>> {
+        self.find_way(block).map(|idx| self.line_ref(idx))
     }
 
     /// Mutable lookup.
-    pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<&mut Line<S>> {
-        let set = self.set_index(block);
-        self.sets[set].iter_mut().find(|l| l.tag == block)
+    pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<LineMut<'_, S>> {
+        self.find_way(block).map(|idx| self.line_mut(idx))
+    }
+
+    /// Whether a frame (valid or invalid copy) holds `block`.
+    #[inline]
+    pub fn is_resident(&self, block: BlockAddr) -> bool {
+        self.find_way(block).is_some()
     }
 
     /// The protocol state for `block`; `S::invalid()` when no frame holds
     /// it (or the frame is an invalid copy, whose state *is* invalid).
+    #[inline]
     pub fn state_of(&self, block: BlockAddr) -> S {
-        self.lookup(block).map(|l| l.state).unwrap_or_else(S::invalid)
+        match self.find_way(block) {
+            Some(idx) => self.states[idx],
+            None => S::invalid(),
+        }
+    }
+
+    /// The protocol state for `block` when a frame holds it, `None` when
+    /// nothing is resident (a resident invalid copy returns `Some`).
+    #[inline]
+    pub fn state_if_resident(&self, block: BlockAddr) -> Option<S> {
+        self.find_way(block).map(|idx| self.states[idx])
+    }
+
+    /// Sets the protocol state of the resident frame for `block`. Returns
+    /// `false` (and does nothing) when no frame holds the block.
+    pub fn set_state(&mut self, block: BlockAddr, state: S) -> bool {
+        match self.find_way(block) {
+            Some(idx) => {
+                self.states[idx] = state;
+                let d = state.descriptor();
+                self.valid[idx] = d.is_valid();
+                self.locked[idx] = d.is_locked();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The data words of the resident frame for `block`.
+    #[inline]
+    pub fn data_of(&self, block: BlockAddr) -> Option<&[Word]> {
+        self.find_way(block).map(|idx| &self.data[idx * self.words..(idx + 1) * self.words])
+    }
+
+    /// Number of dirty transfer units in the resident frame for `block`
+    /// (0 when not resident).
+    pub fn dirty_units_of(&self, block: BlockAddr) -> usize {
+        match self.find_way(block) {
+            Some(idx) => self.unit_dirty[idx * self.units..(idx + 1) * self.units]
+                .iter()
+                .filter(|d| **d)
+                .count(),
+            None => 0,
+        }
+    }
+
+    /// Clears the unit dirty bits of the resident frame for `block` (after
+    /// a flush).
+    pub fn clear_unit_dirty(&mut self, block: BlockAddr) {
+        if let Some(idx) = self.find_way(block) {
+            self.unit_dirty[idx * self.units..(idx + 1) * self.units].fill(false);
+        }
+    }
+
+    /// Overwrites the resident frame's data for `block` with `src` and
+    /// clears its dirty bits (a fill from memory or another cache). Returns
+    /// `false` when the block is not resident.
+    pub fn fill_block(&mut self, block: BlockAddr, src: &[Word]) -> bool {
+        match self.find_way(block) {
+            Some(idx) => {
+                self.data[idx * self.words..(idx + 1) * self.words].copy_from_slice(src);
+                self.unit_dirty[idx * self.units..(idx + 1) * self.units].fill(false);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Zero-fills the resident frame's data for `block` and clears its
+    /// dirty bits (a fill of a never-written memory block).
+    pub fn zero_block(&mut self, block: BlockAddr) -> bool {
+        match self.find_way(block) {
+            Some(idx) => {
+                self.data[idx * self.words..(idx + 1) * self.words].fill(Word(0));
+                self.unit_dirty[idx * self.units..(idx + 1) * self.units].fill(false);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Copies `block`'s data from `src`'s resident frame into this cache's
+    /// resident frame (cache-to-cache supply without an intermediate
+    /// allocation), clearing the destination's dirty bits.
+    pub fn copy_block_from(&mut self, src: &Cache<S>, block: BlockAddr) {
+        let data = src.data_of(block).expect("source cache holds the block");
+        assert!(self.fill_block(block, data), "destination frame ensured before copy");
     }
 
     /// Marks `block` most-recently-used.
     pub fn touch(&mut self, block: BlockAddr) {
         self.clock += 1;
         let now = self.clock;
-        if let Some(line) = self.lookup_mut(block) {
-            line.last_use = now;
+        if let Some(idx) = self.find_way(block) {
+            self.last_use[idx] = now;
         }
     }
 
     /// Returns the frame for `block`, allocating one (possibly evicting the
     /// LRU non-locked victim) if none exists. A newly allocated frame
-    /// starts in `S::invalid()` with zeroed data.
+    /// starts in `S::invalid()` with zeroed data. Evicted data is written
+    /// into an internal throwaway buffer; the simulator's hot path uses
+    /// [`Cache::ensure_frame_with`] with a reused buffer instead.
     ///
     /// # Errors
     ///
@@ -119,14 +379,17 @@ impl<S: LineState> Cache<S> {
     pub fn ensure_frame(
         &mut self,
         block: BlockAddr,
-    ) -> Result<(&mut Line<S>, Option<EvictedLine<S>>), CacheError> {
-        self.ensure_frame_with(block, false)
+    ) -> Result<(LineMut<'_, S>, Option<EvictedLine<S>>), CacheError> {
+        let mut scratch = Vec::new();
+        self.ensure_frame_with(block, false, &mut scratch)
     }
 
     /// Like [`Cache::ensure_frame`], but if `spill_locked` is set and every
     /// resident line is locked, the LRU *locked* line is evicted anyway —
     /// the paper's minor protocol modification where the purged block's
-    /// lock bit is written to memory (Section E.3, "Two Concerns").
+    /// lock bit is written to memory (Section E.3, "Two Concerns"). The
+    /// evicted block's data words are copied into `evict_buf` (cleared
+    /// first), so the caller can reuse one buffer across evictions.
     ///
     /// # Errors
     ///
@@ -136,73 +399,78 @@ impl<S: LineState> Cache<S> {
         &mut self,
         block: BlockAddr,
         spill_locked: bool,
-    ) -> Result<(&mut Line<S>, Option<EvictedLine<S>>), CacheError> {
+        evict_buf: &mut Vec<Word>,
+    ) -> Result<(LineMut<'_, S>, Option<EvictedLine<S>>), CacheError> {
         self.clock += 1;
         let now = self.clock;
-        let set_idx = self.set_index(block);
-        let words = self.config.geometry().words_per_block();
-        let units = self.config.units_per_block();
-        let ways = self.config.ways();
-        let set = &mut self.sets[set_idx];
+        let p = self.probe(block);
 
-        if let Some(pos) = set.iter().position(|l| l.tag == block) {
-            set[pos].last_use = now;
-            return Ok((&mut set[pos], None));
+        if let Some(idx) = p.hit {
+            self.last_use[idx] = now;
+            return Ok((self.line_mut(idx), None));
         }
 
         let mut evicted = None;
-        if set.len() >= ways {
-            // Victim: prefer an invalid copy; otherwise LRU among
-            // non-locked lines; locked lines only under spill_locked.
-            let victim = set
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| !l.state.descriptor().is_locked())
-                .min_by_key(|(_, l)| (l.state.descriptor().is_valid(), l.last_use))
-                .map(|(i, _)| i)
-                .or_else(|| {
-                    if spill_locked {
-                        set.iter()
-                            .enumerate()
-                            .min_by_key(|(_, l)| l.last_use)
-                            .map(|(i, _)| i)
-                    } else {
-                        None
-                    }
-                })
-                .ok_or(CacheError::AllLinesLocked { set: set_idx })?;
-            let old = set.swap_remove(victim);
-            evicted = Some(EvictedLine {
-                tag: old.tag,
-                state: old.state,
-                dirty_units: old.dirty_units(),
-                data: old.data,
-            });
-        }
-        set.push(Line::new(block, words, units, now));
-        let pos = set.len() - 1;
-        Ok((&mut set[pos], evicted))
+        let idx = match p.empty {
+            Some(idx) => idx,
+            None => {
+                let idx = p
+                    .victim
+                    .map(|(idx, _)| idx)
+                    .or_else(|| if spill_locked { p.victim_any.map(|(i, _)| i) } else { None })
+                    .ok_or(CacheError::AllLinesLocked {
+                        set: (block.0 & self.set_mask) as usize,
+                    })?;
+                evict_buf.clear();
+                evict_buf
+                    .extend_from_slice(&self.data[idx * self.words..(idx + 1) * self.words]);
+                evicted = Some(EvictedLine {
+                    tag: self.tags[idx],
+                    state: self.states[idx],
+                    dirty_units: self.unit_dirty[idx * self.units..(idx + 1) * self.units]
+                        .iter()
+                        .filter(|d| **d)
+                        .count(),
+                });
+                self.resident -= 1;
+                self.index.remove(&self.tags[idx]);
+                idx
+            }
+        };
+
+        self.tags[idx] = block;
+        self.occupied[idx] = true;
+        self.index.insert(block, idx as u32);
+        self.states[idx] = S::invalid();
+        self.valid[idx] = false;
+        self.locked[idx] = false;
+        self.last_use[idx] = now;
+        self.data[idx * self.words..(idx + 1) * self.words].fill(Word(0));
+        self.unit_dirty[idx * self.units..(idx + 1) * self.units].fill(false);
+        self.resident += 1;
+        self.hint.set((block, idx));
+        Ok((self.line_mut(idx), evicted))
     }
 
     /// Reads the word at `addr` if its block is resident (regardless of
     /// validity — the caller checks the state).
+    #[inline]
     pub fn read_word(&self, addr: Addr) -> Option<Word> {
         let geom = self.config.geometry();
-        let line = self.lookup(geom.block_of(addr))?;
-        Some(line.data[geom.offset_of(addr)])
+        let idx = self.find_way(geom.block_of(addr))?;
+        Some(self.data[idx * self.words + geom.offset_of(addr)])
     }
 
     /// Writes the word at `addr` (block must be resident) and sets the
     /// containing transfer unit's dirty bit. Returns `true` on success.
+    #[inline]
     pub fn write_word(&mut self, addr: Addr, value: Word) -> bool {
         let geom = self.config.geometry();
-        let unit_words = self.config.transfer_unit_words().unwrap_or(geom.words_per_block());
-        let block = geom.block_of(addr);
         let offset = geom.offset_of(addr);
-        match self.lookup_mut(block) {
-            Some(line) => {
-                line.data[offset] = value;
-                line.unit_dirty[offset / unit_words] = true;
+        match self.find_way(geom.block_of(addr)) {
+            Some(idx) => {
+                self.data[idx * self.words + offset] = value;
+                self.unit_dirty[idx * self.units + offset / self.unit_words] = true;
                 true
             }
             None => false,
@@ -210,23 +478,47 @@ impl<S: LineState> Cache<S> {
     }
 
     /// Iterates over all resident lines.
-    pub fn lines(&self) -> impl Iterator<Item = &Line<S>> {
-        self.sets.iter().flatten()
-    }
-
-    /// Iterates mutably over all resident lines.
-    pub fn lines_mut(&mut self) -> impl Iterator<Item = &mut Line<S>> {
-        self.sets.iter_mut().flatten()
+    pub fn lines(&self) -> impl Iterator<Item = LineRef<'_, S>> {
+        (0..self.tags.len()).filter(|&idx| self.occupied[idx]).map(|idx| self.line_ref(idx))
     }
 
     /// Number of resident frames (valid or invalid copies).
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.resident
     }
 
     /// Number of valid lines.
     pub fn valid_lines(&self) -> usize {
-        self.lines().filter(|l| l.state.descriptor().is_valid()).count()
+        self.valid.iter().zip(self.occupied.iter()).filter(|(v, occ)| **v && **occ).count()
+    }
+
+    /// Asserts that the mirrored `valid` / `locked` flag arrays agree with
+    /// each occupied frame's `descriptor()` and that the block → frame
+    /// index is exactly the set of occupied frames. Test/diagnostic hook
+    /// for the invariants the probe and replacement walk rely on.
+    pub fn assert_flags_consistent(&self) {
+        let mut occupied_frames = 0;
+        for idx in 0..self.tags.len() {
+            if !self.occupied[idx] {
+                continue;
+            }
+            occupied_frames += 1;
+            let d = self.states[idx].descriptor();
+            assert_eq!(
+                (self.valid[idx], self.locked[idx]),
+                (d.is_valid(), d.is_locked()),
+                "flag cache out of sync at frame {idx} (block {:?})",
+                self.tags[idx],
+            );
+            assert_eq!(
+                self.index.get(&self.tags[idx]).copied(),
+                Some(idx as u32),
+                "index out of sync at frame {idx} (block {:?})",
+                self.tags[idx],
+            );
+        }
+        assert_eq!(self.index.len(), occupied_frames, "index holds stale entries");
+        assert_eq!(self.resident, occupied_frames, "resident count out of sync");
     }
 }
 
@@ -273,6 +565,10 @@ mod tests {
         Cache::new(CacheConfig::fully_associative(blocks, 4).unwrap())
     }
 
+    fn set_state(c: &mut Cache<TS>, block: BlockAddr, s: TS) {
+        assert!(c.set_state(block, s), "block must be resident");
+    }
+
     #[test]
     fn miss_then_allocate() {
         let mut c = cache(2);
@@ -288,8 +584,9 @@ mod tests {
     #[test]
     fn lru_eviction_prefers_invalid_then_oldest() {
         let mut c = cache(2);
-        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R;
-        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::I; // invalid copy
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        set_state(&mut c, BlockAddr(1), TS::R);
+        c.ensure_frame(BlockAddr(2)).unwrap(); // invalid copy
         // Full; next allocation must evict the invalid copy, not the LRU.
         let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
         assert_eq!(evicted.unwrap().tag, BlockAddr(2));
@@ -299,8 +596,10 @@ mod tests {
     #[test]
     fn lru_order_respected_among_valid() {
         let mut c = cache(2);
-        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R;
-        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::R;
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        set_state(&mut c, BlockAddr(1), TS::R);
+        c.ensure_frame(BlockAddr(2)).unwrap();
+        set_state(&mut c, BlockAddr(2), TS::R);
         c.touch(BlockAddr(1)); // 2 becomes LRU
         let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
         assert_eq!(evicted.unwrap().tag, BlockAddr(2));
@@ -309,22 +608,41 @@ mod tests {
     #[test]
     fn locked_lines_are_pinned() {
         let mut c = cache(2);
-        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::L;
-        c.ensure_frame(BlockAddr(2)).unwrap().0.state = TS::L;
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        set_state(&mut c, BlockAddr(1), TS::L);
+        c.ensure_frame(BlockAddr(2)).unwrap();
+        set_state(&mut c, BlockAddr(2), TS::L);
         let err = c.ensure_frame(BlockAddr(3)).unwrap_err();
         assert_eq!(err, CacheError::AllLinesLocked { set: 0 });
         // Unlock one; allocation succeeds and evicts it.
-        c.lookup_mut(BlockAddr(1)).unwrap().state = TS::W;
+        set_state(&mut c, BlockAddr(1), TS::W);
         let (_, evicted) = c.ensure_frame(BlockAddr(3)).unwrap();
         assert_eq!(evicted.unwrap().tag, BlockAddr(1));
         assert!(c.lookup(BlockAddr(2)).is_some());
     }
 
     #[test]
+    fn spill_locked_evicts_lru_locked_line() {
+        let mut c = cache(2);
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        set_state(&mut c, BlockAddr(1), TS::L);
+        c.ensure_frame(BlockAddr(2)).unwrap();
+        set_state(&mut c, BlockAddr(2), TS::L);
+        let mut buf = Vec::new();
+        let (_, evicted) = c.ensure_frame_with(BlockAddr(3), true, &mut buf).unwrap();
+        let ev = evicted.unwrap();
+        assert_eq!(ev.tag, BlockAddr(1));
+        assert_eq!(ev.state, TS::L);
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
     fn set_mapping_isolates_sets() {
         let mut c: Cache<TS> = Cache::new(CacheConfig::set_associative(2, 1, 4).unwrap());
-        c.ensure_frame(BlockAddr(0)).unwrap().0.state = TS::R; // set 0
-        c.ensure_frame(BlockAddr(1)).unwrap().0.state = TS::R; // set 1
+        c.ensure_frame(BlockAddr(0)).unwrap(); // set 0
+        set_state(&mut c, BlockAddr(0), TS::R);
+        c.ensure_frame(BlockAddr(1)).unwrap(); // set 1
+        set_state(&mut c, BlockAddr(1), TS::R);
         // Block 2 maps to set 0 and evicts block 0 only.
         let (_, evicted) = c.ensure_frame(BlockAddr(2)).unwrap();
         assert_eq!(evicted.unwrap().tag, BlockAddr(0));
@@ -342,6 +660,7 @@ mod tests {
         assert!(!c.write_word(Addr(100), Word(1)));
         // Whole block is one unit by default.
         assert_eq!(c.lookup(BlockAddr(1)).unwrap().dirty_units(), 1);
+        assert_eq!(c.dirty_units_of(BlockAddr(1)), 1);
     }
 
     #[test]
@@ -353,20 +672,78 @@ mod tests {
         c.write_word(Addr(3), Word(8));
         let line = c.lookup(BlockAddr(0)).unwrap();
         assert_eq!(line.dirty_units(), 2);
-        assert_eq!(line.unit_dirty.as_ref(), &[false, true, false, true]);
-        c.lookup_mut(BlockAddr(0)).unwrap().clear_unit_dirty();
+        assert_eq!(line.unit_dirty, &[false, true, false, true]);
+        c.clear_unit_dirty(BlockAddr(0));
         assert_eq!(c.lookup(BlockAddr(0)).unwrap().dirty_units(), 0);
     }
 
     #[test]
     fn invalid_copy_retains_tag_and_data() {
         let mut c = cache(4);
-        c.ensure_frame(BlockAddr(9)).unwrap().0.state = TS::W;
+        c.ensure_frame(BlockAddr(9)).unwrap();
+        set_state(&mut c, BlockAddr(9), TS::W);
         c.write_word(Addr(36), Word(5));
-        c.lookup_mut(BlockAddr(9)).unwrap().state = TS::I; // invalidated
+        set_state(&mut c, BlockAddr(9), TS::I); // invalidated
         // Still resident: tag matches and data readable (invalid copy).
         assert_eq!(c.read_word(Addr(36)), Some(Word(5)));
         assert_eq!(c.valid_lines(), 0);
         assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn fill_and_zero_block() {
+        let mut c = cache(2);
+        c.ensure_frame(BlockAddr(0)).unwrap();
+        c.write_word(Addr(0), Word(9));
+        assert!(c.fill_block(BlockAddr(0), &[Word(1), Word(2), Word(3), Word(4)]));
+        assert_eq!(c.read_word(Addr(2)), Some(Word(3)));
+        assert_eq!(c.dirty_units_of(BlockAddr(0)), 0, "fill clears dirty bits");
+        assert!(c.zero_block(BlockAddr(0)));
+        assert_eq!(c.read_word(Addr(2)), Some(Word(0)));
+        assert!(!c.fill_block(BlockAddr(7), &[Word(0); 4]), "absent block");
+    }
+
+    #[test]
+    fn copy_block_between_caches() {
+        let mut a = cache(2);
+        let mut b = cache(2);
+        a.ensure_frame(BlockAddr(3)).unwrap();
+        a.write_word(Addr(13), Word(77));
+        b.ensure_frame(BlockAddr(3)).unwrap();
+        b.copy_block_from(&a, BlockAddr(3));
+        assert_eq!(b.read_word(Addr(13)), Some(Word(77)));
+        assert_eq!(b.dirty_units_of(BlockAddr(3)), 0);
+    }
+
+    #[test]
+    fn flag_cache_tracks_descriptors() {
+        let mut c = cache(2);
+        c.assert_flags_consistent();
+        c.ensure_frame(BlockAddr(1)).unwrap();
+        c.assert_flags_consistent();
+        set_state(&mut c, BlockAddr(1), TS::L);
+        c.assert_flags_consistent();
+        set_state(&mut c, BlockAddr(1), TS::R);
+        c.ensure_frame(BlockAddr(2)).unwrap();
+        set_state(&mut c, BlockAddr(2), TS::W);
+        c.assert_flags_consistent();
+        // Eviction reuses the frame; flags must reset with the new line.
+        c.ensure_frame(BlockAddr(3)).unwrap();
+        c.assert_flags_consistent();
+        assert_eq!(c.valid_lines(), 1, "only the surviving valid line counts");
+    }
+
+    #[test]
+    fn evict_buf_is_reused_across_evictions() {
+        let mut c = cache(1);
+        let mut buf = Vec::new();
+        c.ensure_frame_with(BlockAddr(0), false, &mut buf).unwrap();
+        c.write_word(Addr(1), Word(5));
+        let (_, ev) = c.ensure_frame_with(BlockAddr(1), false, &mut buf).unwrap();
+        assert_eq!(ev.unwrap().tag, BlockAddr(0));
+        assert_eq!(buf, vec![Word(0), Word(5), Word(0), Word(0)]);
+        let (_, ev) = c.ensure_frame_with(BlockAddr(2), false, &mut buf).unwrap();
+        assert_eq!(ev.unwrap().tag, BlockAddr(1));
+        assert_eq!(buf, vec![Word(0); 4], "buffer cleared and refilled");
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod bus;
 pub mod error;
+pub mod fastmap;
 pub mod features;
 pub mod ops;
 pub mod protocol;
@@ -43,6 +44,7 @@ pub mod types;
 
 pub use bus::{BusOp, BusTxn, SnoopReply, SnoopSummary, UpdateTarget};
 pub use error::ModelError;
+pub use fastmap::{FastMap, FxHasher64};
 pub use features::{
     DirectoryDuality, DistributedState, FeatureSet, FlushPolicy, RmwMethod, SharingDetermination,
     SourcePolicy, WritePolicy,

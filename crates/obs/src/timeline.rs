@@ -90,6 +90,17 @@ impl IntervalSampler {
         self.add_span(start, len, |w, part| w.waiter_cycles += part);
     }
 
+    /// Attributes `len` cycles of `n` simultaneous lock-waiters waiting
+    /// from `start` — equivalent to `n` calls to
+    /// [`IntervalSampler::add_waiter_span`], with identical per-window
+    /// attribution, in one boundary-splitting pass.
+    pub fn add_waiter_spans(&mut self, start: u64, len: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.add_span(start, len, |w, part| w.waiter_cycles += part * n);
+    }
+
     fn add_span(&mut self, start: u64, len: u64, mut add: impl FnMut(&mut Window, u64)) {
         let mut cursor = start;
         let end = start.saturating_add(len);
@@ -200,6 +211,20 @@ mod tests {
         s.add_waiter_span(50, 100);
         assert_eq!(s.windows()[0].waiter_cycles, 150);
         assert_eq!(s.windows()[1].waiter_cycles, 50);
+    }
+
+    #[test]
+    fn waiter_multiplicity_equals_repeated_single_spans() {
+        let (start, len, window) = (730, 911, 256);
+        for n in [0u64, 1, 3, 17] {
+            let mut multi = IntervalSampler::new(window);
+            multi.add_waiter_spans(start, len, n);
+            let mut repeated = IntervalSampler::new(window);
+            for _ in 0..n {
+                repeated.add_waiter_span(start, len);
+            }
+            assert_eq!(multi, repeated, "n={n}");
+        }
     }
 
     #[test]

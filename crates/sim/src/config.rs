@@ -35,6 +35,7 @@ pub struct SystemConfig {
     engine: EngineMode,
     histograms: bool,
     timeline_window: Option<u64>,
+    snoop_filter: bool,
 }
 
 impl SystemConfig {
@@ -53,6 +54,7 @@ impl SystemConfig {
             engine: EngineMode::default(),
             histograms: false,
             timeline_window: None,
+            snoop_filter: true,
         }
     }
 
@@ -82,7 +84,9 @@ impl SystemConfig {
     }
 
     /// Enables or disables the coherence/lock oracles (on by default; turn
-    /// off only for very long benchmark runs).
+    /// off only for very long benchmark runs). Only honored when the
+    /// `debug-checks` feature of `mcs-sim` is compiled in (the default);
+    /// without it the oracles are never constructed.
     pub fn with_oracle(mut self, oracle: bool) -> Self {
         self.oracle = oracle;
         self
@@ -118,6 +122,14 @@ impl SystemConfig {
     /// cycles (clamped to ≥ 1). Off by default.
     pub fn with_timeline(mut self, window_cycles: u64) -> Self {
         self.timeline_window = Some(window_cycles.max(1));
+        self
+    }
+
+    /// Enables or disables the holder-bitmask snoop filter (on by default).
+    /// Disabling it restores full-broadcast probing of every cache; output
+    /// must be identical either way (pinned by the equivalence suite).
+    pub fn with_snoop_filter(mut self, enabled: bool) -> Self {
+        self.snoop_filter = enabled;
         self
     }
 
@@ -175,6 +187,11 @@ impl SystemConfig {
     pub fn timeline_window(&self) -> Option<u64> {
         self.timeline_window
     }
+
+    /// Whether the holder-bitmask snoop filter is enabled.
+    pub fn snoop_filter(&self) -> bool {
+        self.snoop_filter
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +220,8 @@ mod tests {
         assert!(c.directory().is_none());
         assert_eq!(c.cache().capacity_blocks(), 64);
         assert_eq!(c.engine(), EngineMode::EventDriven);
+        assert!(c.snoop_filter());
+        assert!(!c.with_snoop_filter(false).snoop_filter());
     }
 
     #[test]

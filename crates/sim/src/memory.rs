@@ -4,15 +4,24 @@
 //! cache state and manages no synchronization (Section A.2); it just
 //! services block reads, block writes (flushes) and word writes, and can be
 //! inhibited by a source cache.
+//!
+//! The one concession to speed is a *snoop filter*: a per-block **holder
+//! bitmask** (one bit per cache) recording which caches hold a frame for
+//! the block — valid **or invalid copy**, i.e. residency, not validity.
+//! The simulator maintains it at frame allocation and eviction (the only
+//! residency transitions; invalidation keeps the frame resident) and uses
+//! it to visit only caches that can possibly tag-match during a broadcast,
+//! which changes nothing observable because a non-resident cache's snoop is
+//! always a no-op.
 
-use mcs_model::{Addr, BlockAddr, BlockGeometry, Word};
-use std::collections::HashMap;
+use mcs_model::{Addr, BlockAddr, BlockGeometry, FastMap, Word};
 
 /// Main memory, holding blocks of words. Unwritten blocks read as zero.
 #[derive(Debug, Clone)]
 pub struct MainMemory {
     geometry: BlockGeometry,
-    blocks: HashMap<BlockAddr, Box<[Word]>>,
+    blocks: FastMap<BlockAddr, Box<[Word]>>,
+    holders: FastMap<BlockAddr, u64>,
     reads: u64,
     writes: u64,
 }
@@ -20,7 +29,7 @@ pub struct MainMemory {
 impl MainMemory {
     /// An empty memory with the given geometry.
     pub fn new(geometry: BlockGeometry) -> Self {
-        MainMemory { geometry, blocks: HashMap::new(), reads: 0, writes: 0 }
+        MainMemory { geometry, blocks: FastMap::default(), holders: FastMap::default(), reads: 0, writes: 0 }
     }
 
     fn zero_block(&self) -> Box<[Word]> {
@@ -36,11 +45,53 @@ impl MainMemory {
         }
     }
 
-    /// Writes a whole block (a flush).
+    /// Reads a whole block without copying. Returns `None` when the block
+    /// was never written (reads as zero); the caller zero-fills.
+    pub fn read_block_ref(&mut self, block: BlockAddr) -> Option<&[Word]> {
+        self.reads += 1;
+        self.blocks.get(&block).map(|d| &**d)
+    }
+
+    /// Writes a whole block (a flush), reusing the existing allocation when
+    /// the block was written before.
     pub fn write_block(&mut self, block: BlockAddr, data: &[Word]) {
         debug_assert_eq!(data.len(), self.geometry.words_per_block());
         self.writes += 1;
-        self.blocks.insert(block, data.into());
+        match self.blocks.get_mut(&block) {
+            Some(entry) => entry.copy_from_slice(data),
+            None => {
+                self.blocks.insert(block, data.into());
+            }
+        }
+    }
+
+    /// Marks cache `cache` as holding a frame for `block`.
+    #[inline]
+    pub fn add_holder(&mut self, block: BlockAddr, cache: usize) {
+        *self.holders.entry(block).or_insert(0) |= 1u64 << cache;
+    }
+
+    /// Clears cache `cache`'s holder bit for `block` (frame evicted).
+    #[inline]
+    pub fn remove_holder(&mut self, block: BlockAddr, cache: usize) {
+        if let Some(mask) = self.holders.get_mut(&block) {
+            *mask &= !(1u64 << cache);
+            if *mask == 0 {
+                self.holders.remove(&block);
+            }
+        }
+    }
+
+    /// The holder bitmask for `block`: bit `i` set iff cache `i` holds a
+    /// frame for the block (valid or invalid copy).
+    #[inline]
+    pub fn holders_mask(&self, block: BlockAddr) -> u64 {
+        self.holders.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Every block with a nonzero holder mask (exactness-test support).
+    pub fn holder_blocks(&self) -> Vec<BlockAddr> {
+        self.holders.keys().copied().collect()
     }
 
     /// Reads one word.
@@ -131,6 +182,33 @@ mod tests {
         assert_eq!(m.read_word(Addr(2)), Word(1));
         // Test-and-set semantics on a fresh word: old is 0.
         assert_eq!(m.rmw_word(Addr(50), Word(1)), Word(0));
+    }
+
+    #[test]
+    fn block_ref_read_matches_copying_read() {
+        let mut m = mem();
+        assert!(m.read_block_ref(BlockAddr(3)).is_none(), "unwritten block");
+        m.write_block(BlockAddr(3), &[Word(1), Word(2), Word(3), Word(4)]);
+        let via_copy = m.read_block(BlockAddr(3));
+        assert_eq!(m.read_block_ref(BlockAddr(3)).unwrap(), &via_copy[..]);
+        assert_eq!(m.reads(), 3);
+    }
+
+    #[test]
+    fn holder_mask_tracks_add_and_remove() {
+        let mut m = mem();
+        assert_eq!(m.holders_mask(BlockAddr(7)), 0);
+        m.add_holder(BlockAddr(7), 0);
+        m.add_holder(BlockAddr(7), 3);
+        m.add_holder(BlockAddr(7), 3); // idempotent
+        assert_eq!(m.holders_mask(BlockAddr(7)), 0b1001);
+        m.remove_holder(BlockAddr(7), 0);
+        assert_eq!(m.holders_mask(BlockAddr(7)), 0b1000);
+        m.remove_holder(BlockAddr(7), 1); // absent bit: no-op
+        m.remove_holder(BlockAddr(7), 3);
+        assert_eq!(m.holders_mask(BlockAddr(7)), 0);
+        m.remove_holder(BlockAddr(9), 5); // never-held block: no-op
+        assert_eq!(m.holders_mask(BlockAddr(9)), 0);
     }
 
     #[test]

@@ -25,6 +25,21 @@
 //! accounting into interval arithmetic. Both modes produce bit-identical
 //! [`Stats`] and [`Trace`] output (see `tests/equivalence.rs`); the
 //! event-driven mode merely skips the cycles on which nothing can happen.
+//!
+//! # Snoop filter
+//!
+//! Broadcasts need only visit caches that can tag-match. The engine keeps a
+//! per-block **holder bitmask** in [`MainMemory`] — bit `i` set iff cache
+//! `i` has a frame for the block (valid *or invalid copy*; residency, not
+//! validity) — maintained at the only two residency transitions, frame
+//! allocation and eviction. Snoop, snooper-update, and supplier scans walk
+//! just the mask's set bits (ascending, so ordering-sensitive effects are
+//! untouched); a parallel `watch_mask` of armed busy-wait registers filters
+//! unlock broadcasts the same way. A non-resident cache's snoop is a no-op
+//! and an idle register ignores every broadcast, so filtered and full
+//! scans are observationally identical — pinned by the equivalence suite
+//! run with the filter force-disabled, and by a per-transaction exactness
+//! assertion under the `debug-checks` feature.
 
 use crate::config::{EngineMode, SystemConfig};
 use crate::error::{OracleViolation, SimError};
@@ -73,6 +88,95 @@ enum Phase {
     },
     /// Program finished.
     Done,
+}
+
+/// Iterator over the set bits of a bitmask, ascending.
+struct Bits(u64);
+
+impl Iterator for Bits {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+}
+
+/// Cache indices a broadcast must visit: the holder mask's set bits when
+/// the filter applies, every cache otherwise. Both iterate ascending so
+/// filtered and full scans hit matching caches in the same order.
+enum Targets {
+    Mask(Bits),
+    All(std::ops::Range<usize>),
+}
+
+impl Iterator for Targets {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Targets::Mask(bits) => bits.next(),
+            Targets::All(range) => range.next(),
+        }
+    }
+}
+
+/// Number of distinct [`BusOp`] mnemonics (one accumulator slot each).
+const BUS_OP_SLOTS: usize = 19;
+
+/// Canonical op per slot, used to fold the flat per-transaction counters
+/// into the mnemonic-keyed `Stats.bus.by_op` map.
+const SLOT_OPS: [BusOp; BUS_OP_SLOTS] = [
+    BusOp::Fetch { privilege: Privilege::Read, need_data: true },
+    BusOp::Fetch { privilege: Privilege::Read, need_data: false },
+    BusOp::Fetch { privilege: Privilege::Write, need_data: true },
+    BusOp::Fetch { privilege: Privilege::Write, need_data: false },
+    BusOp::Fetch { privilege: Privilege::Lock, need_data: true },
+    BusOp::Fetch { privilege: Privilege::Lock, need_data: false },
+    BusOp::Invalidate,
+    BusOp::WriteWord { target: UpdateTarget::Invalidate },
+    BusOp::WriteWord { target: UpdateTarget::ValidCopies },
+    BusOp::WriteWord { target: UpdateTarget::AllCopies },
+    BusOp::UpdateWord { to_memory: false },
+    BusOp::UpdateWord { to_memory: true },
+    BusOp::ClaimNoFetch,
+    BusOp::UnlockBroadcast,
+    BusOp::Flush,
+    BusOp::MemoryRmw,
+    BusOp::IoInput,
+    BusOp::IoOutput { paging: true },
+    BusOp::IoOutput { paging: false },
+];
+
+/// Slot index of `op` in [`SLOT_OPS`].
+fn op_slot(op: BusOp) -> usize {
+    match op {
+        BusOp::Fetch { privilege: Privilege::Read, need_data: true } => 0,
+        BusOp::Fetch { privilege: Privilege::Read, need_data: false } => 1,
+        BusOp::Fetch { privilege: Privilege::Write, need_data: true } => 2,
+        BusOp::Fetch { privilege: Privilege::Write, need_data: false } => 3,
+        BusOp::Fetch { privilege: Privilege::Lock, need_data: true } => 4,
+        BusOp::Fetch { privilege: Privilege::Lock, need_data: false } => 5,
+        BusOp::Invalidate => 6,
+        BusOp::WriteWord { target: UpdateTarget::Invalidate } => 7,
+        BusOp::WriteWord { target: UpdateTarget::ValidCopies } => 8,
+        BusOp::WriteWord { target: UpdateTarget::AllCopies } => 9,
+        BusOp::UpdateWord { to_memory: false } => 10,
+        BusOp::UpdateWord { to_memory: true } => 11,
+        BusOp::ClaimNoFetch => 12,
+        BusOp::UnlockBroadcast => 13,
+        BusOp::Flush => 14,
+        BusOp::MemoryRmw => 15,
+        BusOp::IoInput => 16,
+        BusOp::IoOutput { paging: true } => 17,
+        BusOp::IoOutput { paging: false } => 18,
+    }
 }
 
 /// Outcome of one executed bus transaction, engine-internal.
@@ -124,6 +228,28 @@ pub struct System<P: Protocol> {
     now: u64,
     bus_free_at: u64,
     rr: usize,
+    /// Cached "anything listening at all" flag (trace, sinks, or sampler);
+    /// lets [`System::emit`] return before even constructing the event.
+    obs_enabled: bool,
+    /// Cached [`Trace::is_enabled`]`|| !sinks.is_empty()` for the
+    /// state-change render gate.
+    sink_or_trace: bool,
+    /// Holder bitmasks are maintained (`processors <= 64`); independent of
+    /// whether lookups actually use them, so exactness holds either way.
+    track_holders: bool,
+    /// Broadcast scans consult the holder bitmask (config on and
+    /// maintainable).
+    snoop_filter: bool,
+    /// Bit `i` set iff busy-wait register `i` is watching a block (armed or
+    /// woken); filters unlock/relock broadcasts.
+    watch_mask: u64,
+    /// Scratch buffer receiving evicted block data; reused across every
+    /// eviction so the steady-state miss path allocates nothing.
+    evict_buf: Vec<Word>,
+    /// Flat per-[`BusOp`] transaction counters, folded into the
+    /// mnemonic-keyed `Stats.bus.by_op` map by `sync_directory_stats` (a
+    /// BTreeMap string probe is too slow for the per-transaction path).
+    by_op_pending: [u64; BUS_OP_SLOTS],
 }
 
 impl<P: Protocol> System<P> {
@@ -144,7 +270,8 @@ impl<P: Protocol> System<P> {
         let duality = config.directory().unwrap_or(protocol.features().directory);
         let check_dual_sources =
             protocol.features().source_policy != SourcePolicy::Arbitrate;
-        Ok(System {
+        let track_holders = n <= 64;
+        let mut sys = System {
             geometry,
             timing: *config.timing(),
             retry_bound: config.retry_bound(),
@@ -152,7 +279,13 @@ impl<P: Protocol> System<P> {
             registers: vec![BusyWaitRegister::new(); n],
             directories: (0..n).map(|_| DirectoryModel::new(duality)).collect(),
             memory: MainMemory::new(geometry),
-            oracle: config.oracle().then(Oracle::new),
+            // Without `debug-checks` the oracles are compiled-out cost:
+            // never constructed, even when the config asks for them.
+            oracle: if cfg!(feature = "debug-checks") {
+                config.oracle().then(Oracle::new)
+            } else {
+                None
+            },
             check_dual_sources,
             stats: Stats::new(n),
             trace: match (config.trace(), config.trace_capacity()) {
@@ -171,8 +304,23 @@ impl<P: Protocol> System<P> {
             now: 0,
             bus_free_at: 0,
             rr: 0,
+            obs_enabled: false,
+            sink_or_trace: false,
+            track_holders,
+            snoop_filter: config.snoop_filter() && track_holders,
+            watch_mask: 0,
+            evict_buf: Vec::with_capacity(geometry.words_per_block()),
+            by_op_pending: [0; BUS_OP_SLOTS],
             protocol,
-        })
+        };
+        sys.refresh_obs_flags();
+        Ok(sys)
+    }
+
+    /// Recomputes the cached observability flags after anything attaches.
+    fn refresh_obs_flags(&mut self) {
+        self.sink_or_trace = self.trace.is_enabled() || !self.sinks.is_empty();
+        self.obs_enabled = self.sink_or_trace || self.sampler.is_some();
     }
 
     /// The protocol instance.
@@ -190,7 +338,8 @@ impl<P: Protocol> System<P> {
         &self.stats
     }
 
-    /// Aggregates per-cache directory counters into the stats block.
+    /// Aggregates per-cache directory counters into the stats block and
+    /// folds the flat per-op transaction counters into `bus.by_op`.
     fn sync_directory_stats(&mut self) {
         let mut agg = mcs_model::DirectoryStats::default();
         for d in &self.directories {
@@ -202,6 +351,12 @@ impl<P: Protocol> System<P> {
             agg.interference_cycles += s.interference_cycles;
         }
         self.stats.directory = agg;
+        for (slot, count) in self.by_op_pending.iter_mut().enumerate() {
+            if *count > 0 {
+                *self.stats.bus.by_op.entry(SLOT_OPS[slot].mnemonic()).or_default() += *count;
+                *count = 0;
+            }
+        }
     }
 
     /// Per-cache directory models (Feature 3 analysis).
@@ -218,6 +373,7 @@ impl<P: Protocol> System<P> {
     /// to it (even when the in-memory trace is disabled).
     pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
         self.sinks.push(sink);
+        self.refresh_obs_flags();
     }
 
     /// Flushes every attached sink. Call when done driving the system.
@@ -243,7 +399,16 @@ impl<P: Protocol> System<P> {
     /// sink, and appends to the in-memory trace. The sampler derives its
     /// reference and bus-busy integrals from the event stream itself, so
     /// they stay bit-identical across engine modes by construction.
-    fn emit(&mut self, cycle: u64, event: Event) {
+    ///
+    /// The event is passed lazily: when nothing is listening (`obs_enabled`
+    /// is false — no trace, no sinks, no sampler) this returns before the
+    /// event is even constructed, so the benchmark configuration pays one
+    /// branch per emit site, not an allocation or a `format!`.
+    fn emit(&mut self, cycle: u64, event: impl FnOnce() -> Event) {
+        if !self.obs_enabled {
+            return;
+        }
+        let event = event();
         if let Some(s) = &mut self.sampler {
             match &event {
                 Event::ProcAccess { hit, .. } => s.add_ref(cycle, *hit),
@@ -335,6 +500,45 @@ impl<P: Protocol> System<P> {
         for reg in &mut self.registers {
             reg.disarm();
         }
+        self.watch_mask = 0;
+    }
+
+    /// Marks busy-wait register `i` as watching (mask capped at 64 bits;
+    /// beyond that the watch filter is simply never consulted).
+    #[inline]
+    fn set_watch(&mut self, i: usize) {
+        if i < 64 {
+            self.watch_mask |= 1 << i;
+        }
+    }
+
+    /// Clears busy-wait register `i`'s watching bit.
+    #[inline]
+    fn clear_watch(&mut self, i: usize) {
+        if i < 64 {
+            self.watch_mask &= !(1 << i);
+        }
+    }
+
+    /// Caches a broadcast for `block` must visit: the holder mask's set
+    /// bits when the snoop filter is on, every cache otherwise.
+    #[inline]
+    fn cache_targets(&self, block: BlockAddr) -> Targets {
+        if self.snoop_filter {
+            Targets::Mask(Bits(self.memory.holders_mask(block)))
+        } else {
+            Targets::All(0..self.caches.len())
+        }
+    }
+
+    /// Busy-wait registers an unlock/relock broadcast must visit.
+    #[inline]
+    fn watch_targets(&self) -> Targets {
+        if self.snoop_filter {
+            Targets::Mask(Bits(self.watch_mask))
+        } else {
+            Targets::All(0..self.registers.len())
+        }
     }
 
     /// Advances the phase machines at the current cycle: delivers due
@@ -421,11 +625,10 @@ impl<P: Protocol> System<P> {
         // Outstanding lock-waiters integral: each waiter contributes `dt`
         // waiter-cycles over [now, now+dt), split across sample windows so
         // event-driven skips attribute identically to per-cycle stepping.
+        // One multiplicity call covers all waiters at once.
         if lock_waiters > 0 {
             if let Some(s) = &mut self.sampler {
-                for _ in 0..lock_waiters {
-                    s.add_waiter_span(self.now, dt);
-                }
+                s.add_waiter_spans(self.now, dt, lock_waiters);
             }
         }
     }
@@ -490,7 +693,7 @@ impl<P: Protocol> System<P> {
             && self.memory_locks.get(&block).map(|(h, _)| *h) == Some(CacheId(i))
         {
             self.stats.per_proc[i].misses += 1;
-            self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            self.emit(self.now, || Event::ProcAccess { proc: ProcId(i), op, hit: false });
             self.phases[i] = Phase::Pending {
                 op,
                 bus_op: BusOp::UnlockBroadcast,
@@ -511,7 +714,7 @@ impl<P: Protocol> System<P> {
             if kind == AccessKind::WriteIfOwned { AccessKind::Write } else { kind };
         if kind == AccessKind::WriteIfOwned && !state.descriptor().is_valid() {
             self.stats.per_proc[i].misses += 1;
-            self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+            self.emit(self.now, || Event::ProcAccess { proc: ProcId(i), op, hit: false });
             if let Some(h) = &mut self.hists {
                 h.miss_service.record(1);
             }
@@ -523,13 +726,13 @@ impl<P: Protocol> System<P> {
         match self.protocol.proc_access(state, effective_kind) {
             ProcAction::Hit { next } => {
                 self.stats.per_proc[i].hits += 1;
-                self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: true });
+                self.emit(self.now, || Event::ProcAccess { proc: ProcId(i), op, hit: true });
                 self.apply_local_hit(i, op, state, next, 0, workload)?;
                 self.phases[i] = Phase::Computing { until: self.now + 1 };
             }
             ProcAction::Bus { op: bus_op } => {
                 self.stats.per_proc[i].misses += 1;
-                self.emit(self.now, Event::ProcAccess { proc: ProcId(i), op, hit: false });
+                self.emit(self.now, || Event::ProcAccess { proc: ProcId(i), op, hit: false });
                 self.phases[i] = Phase::Pending {
                     op,
                     bus_op,
@@ -569,9 +772,7 @@ impl<P: Protocol> System<P> {
         if state != next {
             self.push_state_change(CacheId(i), block, &state, &next, StateCause::ProcAccess);
         }
-        if let Some(line) = self.caches[i].lookup_mut(block) {
-            line.state = next;
-        }
+        self.caches[i].set_state(block, next);
         self.caches[i].touch(block);
 
         // Data movement + oracle, all local.
@@ -607,19 +808,21 @@ impl<P: Protocol> System<P> {
                 h.lock_acquire_wait.record(waited);
             }
             self.lock_oracle_acquire(block, CacheId(i))?;
-            self.emit(
-                self.now,
-                Event::LockAcquired { cache: CacheId(i), block, zero_time: true },
-            );
+            self.emit(self.now, || Event::LockAcquired {
+                cache: CacheId(i),
+                block,
+                zero_time: true,
+            });
         }
         if op.kind == AccessKind::UnlockWrite && before.is_locked() && !after.is_locked() {
             self.stats.locks.releases += 1;
             self.stats.locks.zero_time_releases += 1;
             self.lock_oracle_release(block, CacheId(i))?;
-            self.emit(
-                self.now,
-                Event::LockReleased { cache: CacheId(i), block, broadcast: false },
-            );
+            self.emit(self.now, || Event::LockReleased {
+                cache: CacheId(i),
+                block,
+                broadcast: false,
+            });
         }
 
         let result = AccessResult { value, hit: true, retries: 0, latency: 1, aborted: false };
@@ -666,6 +869,7 @@ impl<P: Protocol> System<P> {
         };
         if hi {
             self.registers[i].disarm();
+            self.clear_watch(i);
             self.stats.locks.wakeups += 1;
         }
         // Lock wait accumulated so far and arbitration wait for this grant;
@@ -799,7 +1003,8 @@ impl<P: Protocol> System<P> {
                 let block = self.geometry.block_of(op.addr);
                 self.stats.locks.denied += 1;
                 self.registers[i].arm(block);
-                self.emit(self.now, Event::WaiterArmed { cache: CacheId(i), block });
+                self.set_watch(i);
+                self.emit(self.now, || Event::WaiterArmed { cache: CacheId(i), block });
                 let behavior = workload.on_lock_wait(ProcId(i), block, self.now);
                 self.stats.bus.busy_cycles += duration;
                 self.bus_free_at = self.now + duration;
@@ -837,35 +1042,39 @@ impl<P: Protocol> System<P> {
         if let Some(h) = &mut self.hists {
             h.bus_arb_wait.record(arb_wait);
         }
-        *self.stats.bus.by_op.entry(bus_op.mnemonic()).or_default() += 1;
+        self.by_op_pending[op_slot(bus_op)] += 1;
         if hi {
             self.stats.bus.high_priority_grants += 1;
         }
 
         // --- Snoop phase ---
+        // Only holder caches can tag-match; a non-resident snoop is a no-op,
+        // so filtering by the holder mask changes nothing observable.
         let mut summary = SnoopSummary::default();
         let mut supplier: Option<usize> = None;
         let mut snoop_flush_count = 0u32;
-        for j in 0..self.caches.len() {
+        for j in self.cache_targets(block) {
             if j == req {
                 continue;
             }
-            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
-            let before = line.state;
+            let Some(before) = self.caches[j].state_if_resident(block) else { continue };
             let outcome = self.protocol.snoop(before, &txn);
-            line.state = outcome.next;
+            self.caches[j].set_state(block, outcome.next);
+            let flushed = outcome.reply.flushes;
+            if flushed {
+                self.memory
+                    .write_block(block, self.caches[j].data_of(block).expect("resident line"));
+                self.caches[j].clear_unit_dirty(block);
+            }
             self.directories[j].bus_access();
             summary.absorb(&outcome.reply);
             if outcome.reply.supplies_data {
                 supplier = Some(j);
             }
-            if outcome.reply.flushes {
-                let data = line.data.clone();
-                line.clear_unit_dirty();
-                self.memory.write_block(block, &data);
+            if flushed {
                 self.stats.sources.flushes += 1;
                 snoop_flush_count += 1;
-                self.emit(self.now, Event::Flush { cache: CacheId(j), block });
+                self.emit(self.now, || Event::Flush { cache: CacheId(j), block });
             }
             let bd = before.descriptor();
             let ad = outcome.next.descriptor();
@@ -884,7 +1093,7 @@ impl<P: Protocol> System<P> {
         match bus_op {
             BusOp::UnlockBroadcast => self.broadcast_unlock(block, req),
             BusOp::Fetch { privilege: Privilege::Lock, .. } => {
-                for j in 0..self.registers.len() {
+                for j in self.watch_targets() {
                     if j != req {
                         self.registers[j].observe_relock(block);
                     }
@@ -896,16 +1105,16 @@ impl<P: Protocol> System<P> {
         // --- Engine-level data updates in snoopers (write-through/update) ---
         if let BusOp::WriteWord { target } = bus_op.normalize_update() {
             let value = op.value.unwrap_or(Word(0));
-            for j in 0..self.caches.len() {
+            for j in self.cache_targets(block) {
                 if j == req {
                     continue;
                 }
-                let valid =
-                    self.caches[j].state_of(block).descriptor().is_valid();
                 let apply = match target {
                     UpdateTarget::Invalidate => false,
-                    UpdateTarget::ValidCopies => valid,
-                    UpdateTarget::AllCopies => self.caches[j].lookup(block).is_some(),
+                    UpdateTarget::ValidCopies => {
+                        self.caches[j].state_of(block).descriptor().is_valid()
+                    }
+                    UpdateTarget::AllCopies => self.caches[j].is_resident(block),
                 };
                 if apply && self.caches[j].write_word(op.addr, value) {
                     self.stats.bus.updates += 1;
@@ -935,27 +1144,27 @@ impl<P: Protocol> System<P> {
 
         let flush_extra = self.timing.nonconcurrent_flush_penalty * snoop_flush_count as u64;
 
-        match outcome {
+        let out = match outcome {
             CompleteOutcome::Retry => {
                 let duration = if snoop_flush_count > 0 {
                     self.timing.flush(self.geometry.words_per_block())
                 } else {
                     self.timing.signal_txn()
                 };
-                self.emit(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, || Event::Bus { txn, summary, duration });
                 Ok(TxnOut::Retried { duration })
             }
             CompleteOutcome::LockDenied => {
                 let duration = self.timing.signal_txn();
-                self.emit(self.now, Event::Bus { txn, summary, duration });
-                self.emit(self.now, Event::LockDenied { cache: CacheId(req), block });
+                self.emit(self.now, || Event::Bus { txn, summary, duration });
+                self.emit(self.now, || Event::LockDenied { cache: CacheId(req), block });
                 Ok(TxnOut::Denied { duration })
             }
             CompleteOutcome::Installed { next } => {
                 let (result, duration) = self
                     .install(req, op, bus_op, state, next, &summary, supplier, had_valid, true, waited)?;
                 let duration = duration + flush_extra;
-                self.emit(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, || Event::Bus { txn, summary, duration });
                 self.check_block_invariants(block)?;
                 Ok(TxnOut::Completed { result, duration })
             }
@@ -963,11 +1172,19 @@ impl<P: Protocol> System<P> {
                 let (_, duration) = self
                     .install(req, op, bus_op, state, next, &summary, supplier, had_valid, false, waited)?;
                 let duration = duration + flush_extra;
-                self.emit(self.now, Event::Bus { txn, summary, duration });
+                self.emit(self.now, || Event::Bus { txn, summary, duration });
                 self.check_block_invariants(block)?;
                 Ok(TxnOut::InstalledRetry { duration })
             }
+        };
+        #[cfg(feature = "debug-checks")]
+        {
+            self.assert_snoop_filter_exact_for(block);
+            for cache in &self.caches {
+                cache.assert_flags_consistent();
+            }
         }
+        out
     }
 
     /// Applies data movement and the processor op's effects after a
@@ -996,43 +1213,51 @@ impl<P: Protocol> System<P> {
 
         match bus_op {
             BusOp::Fetch { need_data, .. } => {
-                // Allocate a frame (evicting if necessary) and move data.
-                let supplier_data = supplier.map(|j| self.caches[j].lookup(block).map(|l| (l.data.clone(), l.dirty_units())).expect("supplier has line"));
-                let fetch_units = supplier_data
-                    .as_ref()
-                    .map(|(_, dirty)| (*dirty).max(1))
-                    .unwrap_or(1);
-                let (_, evicted) = self.caches[req].ensure_frame_with(block, true)?;
+                // Allocate a frame (evicting if necessary) and move data —
+                // straight cache-to-cache / memory-to-cache copies, no
+                // intermediate allocation.
+                let fetch_units =
+                    supplier.map(|j| self.caches[j].dirty_units_of(block).max(1)).unwrap_or(1);
+                let (_, evicted) =
+                    self.caches[req].ensure_frame_with(block, true, &mut self.evict_buf)?;
+                if self.track_holders {
+                    self.memory.add_holder(block, req);
+                    if let Some(ev) = &evicted {
+                        self.memory.remove_holder(ev.tag, req);
+                    }
+                }
                 if let Some(ev) = evicted {
                     evict_extra += self.writeback_evicted(req, ev)?;
                 }
                 if need_data && !had_valid {
                     self.stats.sources.fetches += 1;
-                    let data = match &supplier_data {
-                        Some((data, _)) => {
+                    match supplier {
+                        Some(j) => {
                             self.stats.sources.from_cache += 1;
-                            self.emit(
-                                self.now,
-                                Event::CacheProvides {
-                                    cache: CacheId(supplier.unwrap()),
-                                    block,
-                                    dirty: summary.source_dirty.unwrap_or(false),
-                                },
-                            );
-                            data.clone()
+                            let dirty = summary.source_dirty.unwrap_or(false);
+                            self.emit(self.now, || Event::CacheProvides {
+                                cache: CacheId(j),
+                                block,
+                                dirty,
+                            });
+                            copy_between(&mut self.caches, req, j, block);
                         }
                         None => {
                             if summary.memory_inhibited {
                                 return Err(SimError::NoDataSource { block });
                             }
                             self.stats.sources.from_memory += 1;
-                            self.emit(self.now, Event::MemoryProvides { block });
-                            self.memory.read_block(block)
+                            self.emit(self.now, || Event::MemoryProvides { block });
+                            match self.memory.read_block_ref(block) {
+                                Some(data) => {
+                                    self.caches[req].fill_block(block, data);
+                                }
+                                None => {
+                                    self.caches[req].zero_block(block);
+                                }
+                            }
                         }
-                    };
-                    let line = self.caches[req].lookup_mut(block).expect("frame just ensured");
-                    line.data = data;
-                    line.clear_unit_dirty();
+                    }
                 }
                 // Duration: transfer-unit-aware word count.
                 let moved_words = if self.caches[req].config().transfer_unit_words().is_some() {
@@ -1059,7 +1284,14 @@ impl<P: Protocol> System<P> {
                 duration = self.timing.signal_txn();
             }
             BusOp::ClaimNoFetch => {
-                let (_, evicted) = self.caches[req].ensure_frame_with(block, true)?;
+                let (_, evicted) =
+                    self.caches[req].ensure_frame_with(block, true, &mut self.evict_buf)?;
+                if self.track_holders {
+                    self.memory.add_holder(block, req);
+                    if let Some(ev) = &evicted {
+                        self.memory.remove_holder(ev.tag, req);
+                    }
+                }
                 if let Some(ev) = evicted {
                     evict_extra += self.writeback_evicted(req, ev)?;
                 }
@@ -1091,10 +1323,11 @@ impl<P: Protocol> System<P> {
                     self.memory_locks.remove(&block);
                     self.stats.locks.releases += 1;
                     self.lock_oracle_release(block, CacheId(req))?;
-                    self.emit(
-                        self.now,
-                        Event::LockReleased { cache: CacheId(req), block, broadcast: true },
-                    );
+                    self.emit(self.now, || Event::LockReleased {
+                        cache: CacheId(req),
+                        block,
+                        broadcast: true,
+                    });
                 }
                 duration = self.timing.signal_txn();
             }
@@ -1107,10 +1340,10 @@ impl<P: Protocol> System<P> {
                 duration = self.timing.memory_rmw();
             }
             BusOp::Flush => {
-                if let Some(line) = self.caches[req].lookup_mut(block) {
-                    let data = line.data.clone();
-                    line.clear_unit_dirty();
-                    self.memory.write_block(block, &data);
+                if self.caches[req].is_resident(block) {
+                    self.memory
+                        .write_block(block, self.caches[req].data_of(block).expect("resident line"));
+                    self.caches[req].clear_unit_dirty(block);
                 }
                 self.stats.sources.flushes += 1;
                 duration = self.timing.flush(words);
@@ -1123,11 +1356,11 @@ impl<P: Protocol> System<P> {
         }
 
         // Install the new state.
-        if self.caches[req].lookup(block).is_some() {
+        if self.caches[req].is_resident(block) {
             if state != next {
                 self.push_state_change(CacheId(req), block, &state, &next, StateCause::Complete);
             }
-            self.caches[req].lookup_mut(block).expect("line present").state = next;
+            self.caches[req].set_state(block, next);
             self.caches[req].touch(block);
         }
 
@@ -1198,22 +1431,20 @@ impl<P: Protocol> System<P> {
                 h.lock_acquire_wait.record(waited);
             }
             self.lock_oracle_acquire(block, CacheId(req))?;
-            self.emit(
-                self.now,
-                Event::LockAcquired { cache: CacheId(req), block, zero_time: false },
-            );
+            self.emit(self.now, || Event::LockAcquired {
+                cache: CacheId(req),
+                block,
+                zero_time: false,
+            });
         }
         if op.kind == AccessKind::UnlockWrite && before_d.is_locked() && !after_d.is_locked() {
             self.stats.locks.releases += 1;
             self.lock_oracle_release(block, CacheId(req))?;
-            self.emit(
-                self.now,
-                Event::LockReleased {
-                    cache: CacheId(req),
-                    block,
-                    broadcast: bus_op == BusOp::UnlockBroadcast,
-                },
-            );
+            self.emit(self.now, || Event::LockReleased {
+                cache: CacheId(req),
+                block,
+                broadcast: bus_op == BusOp::UnlockBroadcast,
+            });
         }
         // A holder re-fetching its own spilled lock moves the bit back
         // into cache state (preserving any recorded waiter).
@@ -1229,7 +1460,8 @@ impl<P: Protocol> System<P> {
             && matches!(bus_op, BusOp::Fetch { privilege: Privilege::Lock, .. })
             && !after_d.is_locked()
         {
-            let any_armed = (0..self.registers.len())
+            let any_armed = self
+                .watch_targets()
                 .any(|j| j != req && self.registers[j].watching() == Some(block));
             if any_armed {
                 self.stats.bus.unlock_broadcasts += 1;
@@ -1243,17 +1475,21 @@ impl<P: Protocol> System<P> {
     }
 
     /// Notifies all armed busy-wait registers that `block` was unlocked.
+    /// Only registers in the watch mask can react, so the broadcast visits
+    /// just those.
     fn broadcast_unlock(&mut self, block: BlockAddr, req: usize) {
-        for j in 0..self.registers.len() {
+        for j in self.watch_targets() {
             if j != req && self.registers[j].observe_unlock(block) {
                 self.woken_at[j] = self.now;
-                self.emit(self.now, Event::WaiterWoken { cache: CacheId(j), block });
+                self.emit(self.now, || Event::WaiterWoken { cache: CacheId(j), block });
             }
         }
     }
 
     /// Writes back an evicted line if the protocol requires it; returns the
-    /// extra bus cycles consumed.
+    /// extra bus cycles consumed. The evicted block's data sits in
+    /// `self.evict_buf` (deposited by `ensure_frame_with`); the caller must
+    /// invoke this before the next eviction overwrites the buffer.
     fn writeback_evicted(
         &mut self,
         req: usize,
@@ -1261,9 +1497,9 @@ impl<P: Protocol> System<P> {
     ) -> Result<u64, SimError> {
         let d = ev.state.descriptor();
         // Feature 8: purging a source line while the block lives elsewhere
-        // loses the source.
+        // loses the source. Only holder caches can have a valid copy.
         if d.source {
-            let valid_elsewhere = (0..self.caches.len()).any(|j| {
+            let valid_elsewhere = self.cache_targets(ev.tag).any(|j| {
                 j != req && self.caches[j].state_of(ev.tag).descriptor().is_valid()
             });
             if valid_elsewhere {
@@ -1276,16 +1512,15 @@ impl<P: Protocol> System<P> {
         if d.is_locked() {
             self.memory_locks.insert(ev.tag, (CacheId(req), d.waiter));
             self.stats.locks.lock_spills += 1;
-            self.emit(
-                self.now,
-                Event::Note(format!("C{req} spills lock bit for {} to memory", ev.tag)),
-            );
+            self.emit(self.now, || {
+                Event::Note(format!("C{req} spills lock bit for {} to memory", ev.tag))
+            });
         }
         let action = self.protocol.evict(ev.state);
         let writeback = action == EvictAction::Writeback || d.is_locked();
-        self.emit(self.now, Event::Eviction { cache: CacheId(req), block: ev.tag, writeback });
+        self.emit(self.now, || Event::Eviction { cache: CacheId(req), block: ev.tag, writeback });
         if writeback {
-            self.memory.write_block(ev.tag, &ev.data);
+            self.memory.write_block(ev.tag, &self.evict_buf);
             self.stats.sources.flushes += 1;
             let words = if self.caches[req].config().transfer_unit_words().is_some() {
                 let unit = self.caches[req].config().transfer_unit_words().unwrap();
@@ -1312,10 +1547,9 @@ impl<P: Protocol> System<P> {
         *self.stats.bus.by_op.entry(BusOp::IoInput.mnemonic()).or_default() += 1;
         let mut summary = SnoopSummary::default();
         for j in 0..self.caches.len() {
-            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
-            let before = line.state;
+            let Some(before) = self.caches[j].state_if_resident(block) else { continue };
             let outcome = self.protocol.snoop(before, &txn);
-            line.state = outcome.next;
+            self.caches[j].set_state(block, outcome.next);
             summary.absorb(&outcome.reply);
             let bd = before.descriptor();
             if bd.is_valid() && !outcome.next.descriptor().is_valid() {
@@ -1330,7 +1564,7 @@ impl<P: Protocol> System<P> {
             self.commit_write(addr, data[idx]);
         }
         let duration = self.timing.flush(self.geometry.words_per_block());
-        self.emit(self.now, Event::Bus { txn, summary, duration });
+        self.emit(self.now, || Event::Bus { txn, summary, duration });
         self.stats.bus.busy_cycles += duration;
         self.bus_free_at = self.now.max(self.bus_free_at) + duration;
         Ok(())
@@ -1351,19 +1585,18 @@ impl<P: Protocol> System<P> {
         let mut summary = SnoopSummary::default();
         let mut supplier: Option<usize> = None;
         for j in 0..self.caches.len() {
-            let Some(line) = self.caches[j].lookup_mut(block) else { continue };
-            let before = line.state;
+            let Some(before) = self.caches[j].state_if_resident(block) else { continue };
             let outcome = self.protocol.snoop(before, &txn);
-            line.state = outcome.next;
+            self.caches[j].set_state(block, outcome.next);
+            if outcome.reply.flushes {
+                self.memory
+                    .write_block(block, self.caches[j].data_of(block).expect("resident line"));
+                self.caches[j].clear_unit_dirty(block);
+                self.stats.sources.flushes += 1;
+            }
             summary.absorb(&outcome.reply);
             if outcome.reply.supplies_data {
                 supplier = Some(j);
-            }
-            if outcome.reply.flushes {
-                let data = line.data.clone();
-                line.clear_unit_dirty();
-                self.memory.write_block(block, &data);
-                self.stats.sources.flushes += 1;
             }
             let bd = before.descriptor();
             if bd.is_valid() && !outcome.next.descriptor().is_valid() {
@@ -1374,11 +1607,11 @@ impl<P: Protocol> System<P> {
             }
         }
         let data = match supplier {
-            Some(j) => self.caches[j].lookup(block).expect("supplier has line").data.clone(),
+            Some(j) => Box::from(self.caches[j].data_of(block).expect("supplier has line")),
             None => self.memory.read_block(block),
         };
         let duration = self.timing.fetch_from_memory(self.geometry.words_per_block());
-        self.emit(self.now, Event::Bus { txn, summary, duration });
+        self.emit(self.now, || Event::Bus { txn, summary, duration });
         self.stats.bus.busy_cycles += duration;
         self.bus_free_at = self.now.max(self.bus_free_at) + duration;
         Ok(data)
@@ -1439,18 +1672,92 @@ impl<P: Protocol> System<P> {
     ) {
         // Gated so the `to_string` rendering cost is only paid when someone
         // is listening (the sampler ignores state changes).
-        if self.trace.is_enabled() || !self.sinks.is_empty() {
-            self.emit(
-                self.now,
-                Event::StateChange {
-                    cache,
-                    block,
-                    from: from.to_string(),
-                    to: to.to_string(),
-                    cause,
-                },
+        if self.sink_or_trace {
+            self.emit(self.now, || Event::StateChange {
+                cache,
+                block,
+                from: from.to_string(),
+                to: to.to_string(),
+                cause,
+            });
+        }
+    }
+
+    /// Asserts the holder bitmask for `block` exactly matches residency and
+    /// covers every valid copy. Runs after every bus transaction when the
+    /// `debug-checks` feature is on.
+    #[cfg(feature = "debug-checks")]
+    fn assert_snoop_filter_exact_for(&self, block: BlockAddr) {
+        if !self.track_holders {
+            return;
+        }
+        let mask = self.memory.holders_mask(block);
+        let mut resident = 0u64;
+        let mut valid = 0u64;
+        for (j, cache) in self.caches.iter().enumerate() {
+            if cache.is_resident(block) {
+                resident |= 1 << j;
+            }
+            if cache.state_of(block).descriptor().is_valid() {
+                valid |= 1 << j;
+            }
+        }
+        assert_eq!(
+            mask, resident,
+            "holder mask for {block} diverged from residency (mask {mask:#b}, resident {resident:#b})"
+        );
+        assert_eq!(
+            valid & !mask,
+            0,
+            "cache holds a valid copy of {block} outside the holder mask {mask:#b} (valid {valid:#b})"
+        );
+    }
+
+    /// Verifies the holder bitmask against true residency for **every**
+    /// block any cache or the mask tracks, in both directions. Test hook
+    /// for the snoop-filter property suite; not part of the public API.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first divergence found.
+    #[doc(hidden)]
+    pub fn assert_snoop_filter_exact(&self) {
+        if !self.track_holders {
+            return;
+        }
+        let mut expected: BTreeMap<BlockAddr, u64> = BTreeMap::new();
+        for (j, cache) in self.caches.iter().enumerate() {
+            for line in cache.lines() {
+                *expected.entry(line.tag).or_insert(0) |= 1 << j;
+            }
+        }
+        for (&block, &mask) in &expected {
+            assert_eq!(
+                self.memory.holders_mask(block),
+                mask,
+                "holder mask for {block} missing residency bits"
             );
         }
+        for block in self.memory.holder_blocks() {
+            assert_eq!(
+                self.memory.holders_mask(block),
+                expected.get(&block).copied().unwrap_or(0),
+                "holder mask for {block} lists caches with no frame"
+            );
+        }
+    }
+}
+
+/// Copies `block`'s data from cache `src` into cache `dst` (both must hold
+/// a frame for it) without an intermediate allocation.
+fn copy_between<S: LineState>(caches: &mut [Cache<S>], dst: usize, src: usize, block: BlockAddr) {
+    assert_ne!(dst, src, "cache cannot supply itself");
+    if dst < src {
+        let (lo, hi) = caches.split_at_mut(src);
+        lo[dst].copy_block_from(&hi[0], block);
+    } else {
+        let (lo, hi) = caches.split_at_mut(dst);
+        hi[0].copy_block_from(&lo[src], block);
     }
 }
 

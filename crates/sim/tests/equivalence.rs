@@ -38,12 +38,14 @@ struct RunOutput {
 
 /// Runs a fresh workload from `make` on `kind` under `mode`, returning the
 /// final statistics, the full trace event sequence, the latency
-/// histograms, and the interval time-series.
+/// histograms, and the interval time-series. `filter` toggles the holder
+/// bitmask snoop filter (on by default in real configs).
 fn run_mode<W: Workload>(
     kind: ProtocolKind,
     mode: EngineMode,
     procs: usize,
     words: usize,
+    filter: bool,
     make: impl FnOnce() -> W,
 ) -> RunOutput {
     let cache = CacheConfig::fully_associative(64, words).expect("valid cache");
@@ -54,11 +56,13 @@ fn run_mode<W: Workload>(
             .with_trace(true)
             .with_histograms(true)
             .with_timeline(WINDOW)
+            .with_snoop_filter(filter)
             .with_engine(mode);
         let mut sys = System::new(p, cfg).expect("valid system");
         let stats = sys
             .run_workload(&mut w, MAX_CYCLES)
             .unwrap_or_else(|e| panic!("{kind} ({mode:?}): {e}"));
+        sys.assert_snoop_filter_exact();
         RunOutput {
             stats,
             trace: sys.trace().to_vec(),
@@ -68,20 +72,36 @@ fn run_mode<W: Workload>(
     })
 }
 
-/// Asserts both engine modes agree on `kind` for the workload `make`.
+/// Asserts one run matches the cycle-accurate reference, with a label for
+/// which leg diverged.
+fn assert_matches_reference(kind: ProtocolKind, label: &str, reference: &RunOutput, run: &RunOutput) {
+    assert_eq!(
+        reference.trace.len(),
+        run.trace.len(),
+        "{kind} ({label}): trace length diverged"
+    );
+    for (i, (r, e)) in reference.trace.iter().zip(&run.trace).enumerate() {
+        assert_eq!(r, e, "{kind} ({label}): trace event {i} diverged");
+    }
+    assert_eq!(reference.stats, run.stats, "{kind} ({label}): stats diverged");
+    for ((name, r), (_, e)) in reference.hists.named().iter().zip(run.hists.named().iter()) {
+        assert_eq!(r, e, "{kind} ({label}): `{name}` histogram diverged");
+    }
+    assert_eq!(
+        reference.timeline, run.timeline,
+        "{kind} ({label}): interval time-series diverged"
+    );
+}
+
+/// Asserts both engine modes agree on `kind` for the workload `make`, and
+/// that force-disabling the snoop filter changes nothing either.
 fn assert_equivalent<W: Workload>(kind: ProtocolKind, procs: usize, make: impl Fn() -> W) {
     let words = if kind.requires_word_blocks() { 1 } else { 4 };
-    let reference = run_mode(kind, EngineMode::CycleAccurate, procs, words, &make);
-    let event = run_mode(kind, EngineMode::EventDriven, procs, words, &make);
-    assert_eq!(reference.trace.len(), event.trace.len(), "{kind}: trace length diverged");
-    for (i, (r, e)) in reference.trace.iter().zip(&event.trace).enumerate() {
-        assert_eq!(r, e, "{kind}: trace event {i} diverged");
-    }
-    assert_eq!(reference.stats, event.stats, "{kind}: stats diverged");
-    for ((name, r), (_, e)) in reference.hists.named().iter().zip(event.hists.named().iter()) {
-        assert_eq!(r, e, "{kind}: `{name}` histogram diverged");
-    }
-    assert_eq!(reference.timeline, event.timeline, "{kind}: interval time-series diverged");
+    let reference = run_mode(kind, EngineMode::CycleAccurate, procs, words, true, &make);
+    let event = run_mode(kind, EngineMode::EventDriven, procs, words, true, &make);
+    assert_matches_reference(kind, "event-driven", &reference, &event);
+    let unfiltered = run_mode(kind, EngineMode::EventDriven, procs, words, false, &make);
+    assert_matches_reference(kind, "snoop filter off", &reference, &unfiltered);
     assert!(reference.stats.total_refs() > 0, "{kind}: workload must do real work");
 }
 
@@ -218,9 +238,9 @@ fn ready_section_accrues_exactly_c_useful_cycles() {
             .build()
     };
     let ev_stats =
-        run_mode(ProtocolKind::BitarDespain, EngineMode::EventDriven, 2, 4, make).stats;
+        run_mode(ProtocolKind::BitarDespain, EngineMode::EventDriven, 2, 4, true, make).stats;
     let ref_stats =
-        run_mode(ProtocolKind::BitarDespain, EngineMode::CycleAccurate, 2, 4, make).stats;
+        run_mode(ProtocolKind::BitarDespain, EngineMode::CycleAccurate, 2, 4, true, make).stats;
     assert_eq!(ev_stats, ref_stats, "modes diverged");
     let useful: u64 = ev_stats.per_proc.iter().map(|p| p.useful_wait_cycles).sum();
     assert!(ev_stats.locks.denied > 0, "workload must contend");

@@ -1,0 +1,115 @@
+//! Seeded property test for the holder-bitmask snoop filter: after every
+//! bus transaction, the per-block holder bitmask in main memory must be
+//! **exact** — bit `i` set iff cache `i` holds a frame (valid *or invalid
+//! copy*) for the block, on every protocol.
+//!
+//! Two layers enforce this:
+//!
+//! 1. With the `debug-checks` feature (on by default, and always on for
+//!    tests), [`System`] asserts per-transaction exactness for the block a
+//!    transaction touched, so merely *running* the scripts here sweeps the
+//!    invariant after every bus transaction.
+//! 2. This test additionally calls the whole-state check
+//!    `assert_snoop_filter_exact` after each run, which cross-checks every
+//!    block in every cache against the mask map in both directions
+//!    (no stale bits, no missing bits).
+//!
+//! Both the filter-enabled and filter-disabled configurations are covered:
+//! the mask is *maintained* whenever `processors <= 64`, regardless of
+//! whether lookups consult it, so exactness must hold in both.
+
+use mcs_cache::CacheConfig;
+use mcs_core::{with_protocol, ProtocolKind};
+use mcs_model::{Addr, ProcId, ProcOp, Rng64, Word};
+use mcs_sim::{System, SystemConfig};
+
+/// A random script over `procs` processors and a deliberately tight address
+/// range (forcing evictions through the 8-block caches below), mixing every
+/// access flavor so installs, invalidations, flushes and evictions all
+/// exercise the mask maintenance.
+fn random_ops(rng: &mut Rng64, procs: usize, len: usize) -> Vec<(ProcId, ProcOp)> {
+    let mut serial = 0u64;
+    (0..len)
+        .map(|_| {
+            serial += 1;
+            let proc = ProcId(rng.gen_range_usize(0..procs));
+            let addr = Addr(rng.gen_range_u64(0..96));
+            let op = match rng.gen_range_u64(0..4) {
+                0 => ProcOp::read(addr),
+                1 => ProcOp::write(addr, Word(serial)),
+                2 => ProcOp::rmw(addr, Word(serial)),
+                _ => ProcOp::read_for_write(addr),
+            };
+            (proc, op)
+        })
+        .collect()
+}
+
+/// Runs one seeded script on one protocol with the filter enabled or
+/// disabled, then applies the whole-state exactness check.
+fn run_and_check(kind: ProtocolKind, ops: &[(ProcId, ProcOp)], procs: usize, filter: bool) {
+    let words = if kind.requires_word_blocks() { 1 } else { 4 };
+    // Tiny 2-way caches so the address range forces evictions (the one
+    // residency-clearing transition) alongside installs.
+    let cache = CacheConfig::set_associative(4, 2, words).expect("valid cache");
+    with_protocol!(kind, p => {
+        let cfg = SystemConfig::new(procs).with_cache(cache).with_snoop_filter(filter);
+        let mut sys = System::new(p, cfg).expect("valid system");
+        sys.run_script(ops.to_vec(), 2_000_000)
+            .unwrap_or_else(|e| panic!("{kind} (filter={filter}): {e}"));
+        sys.assert_snoop_filter_exact();
+    });
+}
+
+/// Holder bitmasks stay exact after every bus transaction across random
+/// scripts on all 10 protocols, with the snoop filter on and off.
+#[test]
+fn holder_bitmask_exact_after_every_txn() {
+    const PROCS: usize = 3;
+    for case in 0..12u64 {
+        let mut rng = Rng64::seed_from_u64(0x5F00_B175 ^ case);
+        let len = 40 + rng.gen_range_usize(0..160);
+        let ops = random_ops(&mut rng, PROCS, len);
+        for kind in ProtocolKind::ALL {
+            run_and_check(kind, &ops, PROCS, true);
+            run_and_check(kind, &ops, PROCS, false);
+        }
+    }
+}
+
+/// Contended critical sections (lock traffic, busy-wait broadcasts,
+/// unlock-wakeups) also preserve mask exactness on every protocol.
+#[test]
+fn holder_bitmask_exact_under_lock_contention() {
+    use mcs_sync::LockSchemeKind;
+    use mcs_workloads::CriticalSectionWorkload;
+
+    for kind in ProtocolKind::ALL {
+        let words = if kind.requires_word_blocks() { 1 } else { 4 };
+        let scheme = if kind == ProtocolKind::BitarDespain {
+            LockSchemeKind::CacheLock
+        } else {
+            LockSchemeKind::TestAndSet
+        };
+        for filter in [true, false] {
+            let mut w = CriticalSectionWorkload::builder()
+                .scheme(scheme)
+                .words_per_block(words)
+                .locks(2)
+                .payload_blocks(2)
+                .payload_reads(3)
+                .payload_writes(3)
+                .think_cycles(5)
+                .iterations(5)
+                .build();
+            let cache = CacheConfig::set_associative(4, 2, words).expect("valid cache");
+            with_protocol!(kind, p => {
+                let cfg = SystemConfig::new(4).with_cache(cache).with_snoop_filter(filter);
+                let mut sys = System::new(p, cfg).expect("valid system");
+                sys.run_workload(&mut w, 2_000_000)
+                    .unwrap_or_else(|e| panic!("{kind} (filter={filter}): {e}"));
+                sys.assert_snoop_filter_exact();
+            });
+        }
+    }
+}

@@ -116,8 +116,8 @@ fn cache_structure_invariants() {
         let mut cache: Cache<Tiny> = Cache::new(config);
         for _ in 0..len {
             let b = rng.gen_range_u64(0..64);
-            let (line, _) = cache.ensure_frame(BlockAddr(b)).unwrap();
-            line.state = Tiny(true);
+            cache.ensure_frame(BlockAddr(b)).unwrap();
+            assert!(cache.set_state(BlockAddr(b), Tiny(true)));
             assert!(cache.resident() <= 8, "case {case}");
             assert_eq!(cache.lookup(BlockAddr(b)).map(|l| l.tag), Some(BlockAddr(b)));
         }
