@@ -29,6 +29,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 # "the hot path fell off a cliff", not noise.
 ./target/release/bench_engine --smoke BENCH_hotpath.json
 
+# Fault-matrix smoke: every seeded fault scenario must terminate in a
+# structured, deterministic way — no panic, no hang. The wall-clock
+# `timeout` is the outer liveness guard; the matrix itself arms the
+# in-simulation watchdog in every cell.
+timeout 300 ./target/release/faultmatrix
+
 # Observability smoke: export a JSONL trace for two E2 contenders and pipe
 # each through the in-tree validator (every line parses, meta header first,
 # cycles monotonically non-decreasing).

@@ -45,6 +45,7 @@ use mcs_bench::harness::{time, RunSpec};
 use mcs_bench::sweep;
 use mcs_core::ProtocolKind;
 use mcs_obs::{EventSink, JsonlSink, RunMeta};
+use mcs_sim::faults::{FaultPlan, WatchdogConfig};
 use mcs_sim::EngineMode;
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::{
@@ -337,6 +338,29 @@ fn hotpath_json_entry(m: &HotpathMeasurement) -> String {
     )
 }
 
+/// The critical-section throughput run with the robustness layer off vs
+/// armed-but-inert (an all-zero fault plan plus the default watchdog):
+/// `(off_wall_s, armed_wall_s)` over `reps`, fastest each. The armed run
+/// is bit-identical (pinned by the equivalence suite); this measures that
+/// it is also free, within noise.
+fn measure_fault_layer_overhead(reps: usize) -> (f64, f64) {
+    let run = |robust: bool| {
+        let mut w = cs_bench_workload();
+        let mut spec = RunSpec::new(ProtocolKind::BitarDespain);
+        if robust {
+            spec = spec.faults(FaultPlan::new(0)).watchdog(WatchdogConfig::default());
+        }
+        spec.run(&mut w, None).stats.cycles
+    };
+    let mut off = f64::INFINITY;
+    let mut armed = f64::INFINITY;
+    for _ in 0..reps {
+        off = off.min(time(|| run(false)).1);
+        armed = armed.min(time(|| run(true)).1);
+    }
+    (off, armed)
+}
+
 fn run_hotpath_section(path: &str) {
     let measurements = vec![
         measure_hotpath("critical_section", 5, critical_section),
@@ -353,6 +377,12 @@ fn run_hotpath_section(path: &str) {
             m.speedup(),
         );
     }
+    let (off_s, armed_s) = measure_fault_layer_overhead(5);
+    let overhead = armed_s / off_s - 1.0;
+    println!(
+        "  faults   {:>18}: off {:.3}s  inert+watchdog {:.3}s  overhead {:+.2}%",
+        "critical_section", off_s, armed_s, 100.0 * overhead,
+    );
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(
@@ -364,7 +394,19 @@ fn run_hotpath_section(path: &str) {
     out.push_str("  \"workloads\": [\n");
     let entries: Vec<String> = measurements.iter().map(hotpath_json_entry).collect();
     out.push_str(&entries.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        concat!(
+            "  \"fault_layer\": {{\n",
+            "    \"workload\": \"critical_section\",\n",
+            "    \"off_wall_s\": {:.6},\n",
+            "    \"inert_armed_wall_s\": {:.6},\n",
+            "    \"overhead\": {:.4}\n",
+            "  }}\n"
+        ),
+        off_s, armed_s, overhead,
+    ));
+    out.push_str("}\n");
     std::fs::write(path, out).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}");
 }

@@ -11,7 +11,8 @@ use mcs_cache::CacheConfig;
 use mcs_core::{with_protocol, ProtocolKind};
 use mcs_model::Stats;
 use mcs_obs::{EventSink, IntervalSampler, LatencyHists};
-use mcs_sim::{EngineMode, System, SystemConfig, Workload};
+use mcs_sim::faults::{FaultPlan, FaultStats, WatchdogConfig, WatchdogReport};
+use mcs_sim::{EngineMode, SimError, System, SystemConfig, Workload};
 use std::time::Instant;
 
 /// Times a closure, returning its result and the elapsed wall seconds.
@@ -33,17 +34,34 @@ pub struct RunSpec {
     histograms: bool,
     timeline_window: Option<u64>,
     max_cycles: u64,
+    faults: Option<FaultPlan>,
+    watchdog: Option<WatchdogConfig>,
+    trace_capacity: Option<usize>,
 }
 
-/// Everything one harness run produces.
+/// Everything one harness run produces. Statistics are collected even when
+/// the run aborted (`error` set), covering the simulated prefix.
 #[derive(Debug, Clone)]
 pub struct HarnessRun {
     /// Scalar statistics.
     pub stats: Stats,
+    /// Whether every processor finished before the cycle ceiling (false on
+    /// an abort or a deadline cut-off).
+    pub completed: bool,
     /// Latency histograms, when the spec enabled them.
     pub hists: Option<LatencyHists>,
     /// Interval time-series, when the spec enabled it.
     pub timeline: Option<IntervalSampler>,
+    /// Injected-fault counters, when the spec armed the fault layer.
+    pub faults: Option<FaultStats>,
+    /// Watchdog summary, when the spec armed the watchdog.
+    pub watchdog: Option<WatchdogReport>,
+    /// Events kept in the bounded trace, when the spec enabled it.
+    pub trace_len: usize,
+    /// Events the bounded trace ring dropped.
+    pub trace_dropped: u64,
+    /// The typed error that ended the run early, if any.
+    pub error: Option<SimError>,
 }
 
 impl RunSpec {
@@ -61,6 +79,9 @@ impl RunSpec {
             histograms: false,
             timeline_window: None,
             max_cycles: 300_000_000,
+            faults: None,
+            watchdog: None,
+            trace_capacity: None,
         }
     }
 
@@ -94,16 +115,38 @@ impl RunSpec {
         self
     }
 
+    /// Installs a deterministic fault-injection plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arms the liveness watchdog.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enables the in-memory trace bounded to a ring of `capacity` events.
+    pub fn bounded_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// The words-per-block this spec resolved for its protocol.
     pub fn words_per_block(&self) -> usize {
         self.words_per_block
     }
 
-    /// Builds the system, attaches `sink` if given, runs `workload` to
-    /// completion and collects the outputs. Panics on simulation errors —
-    /// a benchmark or observed run failing is a bug, not a condition to
-    /// handle.
-    pub fn run<W: Workload>(&self, workload: &mut W, sink: Option<Box<dyn EventSink>>) -> HarnessRun {
+    /// Builds the system, attaches `sink` if given, runs `workload` and
+    /// collects the outputs — **never panicking**: a simulation abort (a
+    /// watchdog trip, an oracle violation, an unrecoverable fault) lands in
+    /// [`HarnessRun::error`] with the statistics of the simulated prefix.
+    pub fn try_run<W: Workload>(
+        &self,
+        workload: &mut W,
+        sink: Option<Box<dyn EventSink>>,
+    ) -> HarnessRun {
         let cache = CacheConfig::fully_associative(self.cache_blocks, self.words_per_block)
             .expect("valid cache geometry");
         with_protocol!(self.kind, p => {
@@ -114,20 +157,47 @@ impl RunSpec {
             if let Some(window) = self.timeline_window {
                 cfg = cfg.with_timeline(window);
             }
+            if let Some(plan) = &self.faults {
+                cfg = cfg.with_faults(plan.clone());
+            }
+            if let Some(wd) = self.watchdog {
+                cfg = cfg.with_watchdog(wd);
+            }
+            if let Some(cap) = self.trace_capacity {
+                cfg = cfg.with_trace(true).with_trace_capacity(cap);
+            }
             let mut sys = System::new(p, cfg).expect("valid system");
             if let Some(sink) = sink {
                 sys.add_sink(sink);
             }
-            let stats = sys
-                .run_workload(workload, self.max_cycles)
-                .unwrap_or_else(|e| panic!("{} harness run failed: {e}", self.kind));
+            let (stats, completed, error) = match sys.run(workload, self.max_cycles) {
+                Ok(report) => (report.stats, report.completed, None),
+                Err(e) => (sys.stats().clone(), false, Some(e)),
+            };
             sys.finish_sinks();
             HarnessRun {
                 stats,
+                completed,
                 hists: sys.histograms().cloned(),
                 timeline: sys.timeline().cloned(),
+                faults: sys.fault_stats().cloned(),
+                watchdog: sys.watchdog_report(),
+                trace_len: sys.trace().len(),
+                trace_dropped: sys.trace().dropped(),
+                error,
             }
         })
+    }
+
+    /// [`Self::try_run`], panicking on simulation errors — for benchmarks
+    /// and observed runs where a failure is a bug, not a condition to
+    /// handle.
+    pub fn run<W: Workload>(&self, workload: &mut W, sink: Option<Box<dyn EventSink>>) -> HarnessRun {
+        let run = self.try_run(workload, sink);
+        if let Some(e) = &run.error {
+            panic!("{} harness run failed: {e}", self.kind);
+        }
+        run
     }
 }
 
@@ -167,6 +237,24 @@ mod tests {
         assert_eq!(observed.stats, plain.stats, "observability must not change behaviour");
         assert!(observed.hists.is_some());
         assert!(observed.timeline.is_some());
+    }
+
+    #[test]
+    fn try_run_surfaces_typed_errors_instead_of_panicking() {
+        // Every unlock lost, no recovery: the watchdog must end the run
+        // with a typed error and the harness must hand it back.
+        let run = RunSpec::new(ProtocolKind::BitarDespain)
+            .procs(2)
+            .faults(FaultPlan::new(0xDEAD).lose_unlock(1000))
+            .watchdog(WatchdogConfig::new().check_interval(1_000).stall_threshold(10_000))
+            .bounded_trace(64)
+            .try_run(&mut tiny_cs(), None);
+        assert!(!run.completed);
+        assert!(matches!(run.error, Some(SimError::Watchdog(_))), "got: {:?}", run.error);
+        assert!(run.faults.expect("fault layer on").lost_unlocks > 0);
+        assert!(run.watchdog.expect("watchdog armed").checks > 0);
+        assert!(run.trace_len > 0, "prefix trace must be available post-mortem");
+        assert!(run.stats.cycles > 0, "prefix stats must be available post-mortem");
     }
 
     #[test]

@@ -12,11 +12,18 @@ use crate::harness::RunSpec;
 use mcs_core::ProtocolKind;
 use mcs_model::Stats;
 use mcs_obs::{EventSink, IntervalSampler, JsonlSink, LatencyHists, RunMeta, SharedBuf, DEFAULT_WINDOW};
+use mcs_sim::faults::{WatchdogConfig, WatchdogReport};
+use mcs_sim::SimError;
 use mcs_sync::LockSchemeKind;
 use mcs_workloads::CriticalSectionWorkload;
 
 /// Hard ceiling for observed runs; hitting it means a deadlock.
 const MAX_CYCLES: u64 = 30_000_000;
+
+/// Ring capacity for the in-memory diagnostic trace kept by every observed
+/// run: recent history for post-mortems at bounded memory, with the drop
+/// count surfaced in the summary.
+const TRACE_RING: usize = 16_384;
 
 /// Workload preset for an observed run, named after the experiment whose
 /// settings it reuses.
@@ -132,9 +139,21 @@ pub struct ObservedRun {
     /// The JSONL event stream (header line + one line per event), when
     /// `spec.json_trace` was set.
     pub jsonl: Option<String>,
+    /// Events kept in the bounded in-memory trace ring.
+    pub trace_kept: usize,
+    /// Events the bounded trace ring dropped.
+    pub trace_dropped: u64,
+    /// Liveness-watchdog summary (the watchdog is armed on every observed
+    /// run; a healthy run reports its checks, a stalled run aborts).
+    pub watchdog: Option<WatchdogReport>,
+    /// The typed error that ended the run early, if any.
+    pub error: Option<SimError>,
 }
 
-/// Executes `spec` and collects every observability output.
+/// Executes `spec` and collects every observability output. Observed runs
+/// always arm the liveness watchdog and keep a bounded diagnostic trace;
+/// an aborted run is returned with [`ObservedRun::error`] set rather than
+/// panicking.
 pub fn run_observed(spec: &ObsSpec) -> ObservedRun {
     let buf = SharedBuf::new();
     let mut workload = spec.workload();
@@ -146,7 +165,9 @@ pub fn run_observed(spec: &ObsSpec) -> ObservedRun {
         .histograms()
         .timeline(spec.window)
         .max_cycles(MAX_CYCLES)
-        .run(&mut workload, sink);
+        .watchdog(WatchdogConfig::default())
+        .bounded_trace(TRACE_RING)
+        .try_run(&mut workload, sink);
     let jsonl = spec.json_trace.then(|| buf.contents());
     ObservedRun {
         spec: spec.clone(),
@@ -155,6 +176,10 @@ pub fn run_observed(spec: &ObsSpec) -> ObservedRun {
         hists: run.hists.expect("histograms enabled"),
         timeline: run.timeline.expect("timeline enabled"),
         jsonl,
+        trace_kept: run.trace_len,
+        trace_dropped: run.trace_dropped,
+        watchdog: run.watchdog,
+        error: run.error,
     }
 }
 
@@ -190,6 +215,24 @@ impl ObservedRun {
             "  locks: {} acquires ({} zero-time), {} denied, {} wait cycles total",
             s.locks.acquires, s.locks.zero_time_acquires, s.locks.denied, s.locks.total_wait_cycles,
         );
+        let _ = writeln!(
+            out,
+            "  trace: {} events kept, {} dropped by the {}-event ring",
+            self.trace_kept, self.trace_dropped, TRACE_RING,
+        );
+        match (&self.watchdog, &self.error) {
+            (Some(wd), None) => {
+                let _ = writeln!(
+                    out,
+                    "  watchdog: clean ({} checks, max stall {} cycles)",
+                    wd.checks, wd.max_stall,
+                );
+            }
+            (_, Some(e)) => {
+                let _ = writeln!(out, "  run ABORTED at cycle {}: {e}", s.cycles);
+            }
+            (None, None) => {}
+        }
         for (name, h) in self.hists.named() {
             match (h.p50(), h.p90(), h.p99()) {
                 (Some(p50), Some(p90), Some(p99)) => {
@@ -242,5 +285,16 @@ mod tests {
         assert!(text.contains("tas"));
         assert!(text.contains("lock_acquire_wait"));
         assert!(run.jsonl.is_none(), "json_trace off by default");
+    }
+
+    #[test]
+    fn summary_reports_watchdog_verdict_and_trace_budget() {
+        let run = run_observed(&ObsSpec::new(ProtocolKind::BitarDespain));
+        assert!(run.error.is_none());
+        assert!(run.trace_kept > 0, "observed runs keep a diagnostic trace");
+        let text = run.summary();
+        assert!(text.contains("watchdog: clean"), "summary:\n{text}");
+        assert!(text.contains("events kept"), "summary:\n{text}");
+        assert!(!text.contains("ABORTED"), "summary:\n{text}");
     }
 }

@@ -83,6 +83,9 @@ pub struct BusStats {
     /// Transactions issued with the reserved high-priority bit
     /// (busy-wait registers re-acquiring, Figure 9).
     pub high_priority_grants: u64,
+    /// Spurious bus NAKs injected by the fault layer. Always zero in
+    /// fault-free runs.
+    pub naks: u64,
 }
 
 impl BusStats {

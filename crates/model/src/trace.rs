@@ -137,6 +137,36 @@ pub enum Event {
         /// Whether a write-back was required.
         writeback: bool,
     },
+    /// The fault-injection layer fired at a choke point.
+    FaultInjected {
+        /// Stable fault-kind identifier (e.g. `"lost-unlock"`).
+        kind: &'static str,
+        /// The cache the fault acted on (requester or snooper).
+        cache: CacheId,
+        /// The block involved.
+        block: BlockAddr,
+    },
+    /// A busy-wait register timed out; the waiter falls back to an
+    /// explicit retry with backoff.
+    WaiterTimeout {
+        /// The waiting cache.
+        cache: CacheId,
+        /// The block it was watching.
+        block: BlockAddr,
+        /// Bus retries consumed so far for this access.
+        retries: u32,
+    },
+    /// The liveness watchdog detected a stall and is aborting the run.
+    WatchdogTrip {
+        /// Stall classification identifier (`"deadlock"` etc.).
+        kind: &'static str,
+        /// The most-stalled processor.
+        proc: ProcId,
+        /// The block it was waiting on, when known.
+        block: Option<BlockAddr>,
+        /// Cycles since that processor last retired a reference.
+        stalled_for: u64,
+    },
     /// Free-form annotation (used by scenario drivers).
     Note(String),
 }
@@ -188,6 +218,19 @@ impl fmt::Display for Event {
             }
             Event::Eviction { cache, block, writeback } => {
                 write!(f, "{cache} evicts {block}{}", if *writeback { " (writeback)" } else { "" })
+            }
+            Event::FaultInjected { kind, cache, block } => {
+                write!(f, "FAULT {kind}: {cache} {block}")
+            }
+            Event::WaiterTimeout { cache, block, retries } => {
+                write!(f, "{cache} busy-wait timeout on {block} (retries={retries})")
+            }
+            Event::WatchdogTrip { kind, proc, block, stalled_for } => {
+                write!(f, "WATCHDOG {kind}: {proc} stalled {stalled_for}cy")?;
+                if let Some(b) = block {
+                    write!(f, " waiting on {b}")?;
+                }
+                Ok(())
             }
             Event::Note(s) => write!(f, "-- {s}"),
         }

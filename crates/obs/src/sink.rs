@@ -324,6 +324,30 @@ pub fn event_json_into(out: &mut String, cycle: u64, event: &Event) {
                 cache.0, block.0
             );
         }
+        Event::FaultInjected { kind, cache, block } => {
+            let _ = write!(
+                out,
+                "\"fault-injected\",\"fault\":\"{kind}\",\"cache\":{},\"block\":{}",
+                cache.0, block.0
+            );
+        }
+        Event::WaiterTimeout { cache, block, retries } => {
+            let _ = write!(
+                out,
+                "\"waiter-timeout\",\"cache\":{},\"block\":{},\"retries\":{retries}",
+                cache.0, block.0
+            );
+        }
+        Event::WatchdogTrip { kind, proc, block, stalled_for } => {
+            let _ = write!(out, "\"watchdog-trip\",\"stall\":\"{kind}\",\"proc\":{}", proc.0);
+            match block {
+                Some(b) => {
+                    let _ = write!(out, ",\"block\":{}", b.0);
+                }
+                None => out.push_str(",\"block\":null"),
+            }
+            let _ = write!(out, ",\"stalled_for\":{stalled_for}");
+        }
         Event::Note(s) => {
             out.push_str("\"note\",\"text\":");
             escape_into(out, s);
@@ -391,6 +415,24 @@ mod tests {
             Event::WaiterArmed { cache: CacheId(1), block: BlockAddr(2) },
             Event::WaiterWoken { cache: CacheId(1), block: BlockAddr(2) },
             Event::Eviction { cache: CacheId(2), block: BlockAddr(5), writeback: true },
+            Event::FaultInjected {
+                kind: "lost-unlock",
+                cache: CacheId(0),
+                block: BlockAddr(2),
+            },
+            Event::WaiterTimeout { cache: CacheId(1), block: BlockAddr(2), retries: 3 },
+            Event::WatchdogTrip {
+                kind: "deadlock",
+                proc: ProcId(1),
+                block: Some(BlockAddr(2)),
+                stalled_for: 200_000,
+            },
+            Event::WatchdogTrip {
+                kind: "starvation",
+                proc: ProcId(2),
+                block: None,
+                stalled_for: 64_000,
+            },
             Event::Note("quotes \" backslash \\ newline \n bell \u{07} done".into()),
         ]
     }

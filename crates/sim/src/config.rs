@@ -1,6 +1,7 @@
 //! System-level configuration.
 
 use mcs_cache::CacheConfig;
+use mcs_faults::{FaultPlan, WatchdogConfig};
 use mcs_model::{DirectoryDuality, TimingConfig};
 
 /// How the engine advances simulated time.
@@ -36,6 +37,8 @@ pub struct SystemConfig {
     histograms: bool,
     timeline_window: Option<u64>,
     snoop_filter: bool,
+    faults: Option<FaultPlan>,
+    watchdog: Option<WatchdogConfig>,
 }
 
 impl SystemConfig {
@@ -55,6 +58,8 @@ impl SystemConfig {
             histograms: false,
             timeline_window: None,
             snoop_filter: true,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -133,6 +138,22 @@ impl SystemConfig {
         self
     }
 
+    /// Installs a deterministic fault-injection plan. Off by default; an
+    /// absent (or [inert](FaultPlan::is_inert)) plan leaves every run
+    /// bit-identical to a fault-free build.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Arms the liveness watchdog. Off by default. The watchdog never
+    /// mutates simulation state: enabling it can only end a stalled run
+    /// early with [`SimError::Watchdog`](crate::SimError::Watchdog).
+    pub fn with_watchdog(mut self, cfg: WatchdogConfig) -> Self {
+        self.watchdog = Some(cfg);
+        self
+    }
+
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.processors
@@ -192,6 +213,16 @@ impl SystemConfig {
     pub fn snoop_filter(&self) -> bool {
         self.snoop_filter
     }
+
+    /// The fault-injection plan, or `None` when the layer is off.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The watchdog configuration, or `None` when the watchdog is off.
+    pub fn watchdog(&self) -> Option<WatchdogConfig> {
+        self.watchdog
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +259,18 @@ mod tests {
     fn engine_override() {
         let c = SystemConfig::new(2).with_engine(EngineMode::CycleAccurate);
         assert_eq!(c.engine(), EngineMode::CycleAccurate);
+    }
+
+    #[test]
+    fn fault_and_watchdog_knobs() {
+        let c = SystemConfig::new(2);
+        assert!(c.faults().is_none());
+        assert!(c.watchdog().is_none());
+        let plan = FaultPlan::new(7).lose_unlock(1000);
+        let wd = WatchdogConfig::new().check_interval(500).stall_threshold(4_000);
+        let c = c.with_faults(plan.clone()).with_watchdog(wd);
+        assert_eq!(c.faults(), Some(&plan));
+        assert_eq!(c.watchdog().map(|w| w.check_interval), Some(500));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`SimError::Oracle`] rather than silently wrong statistics.
 
 use mcs_cache::CacheError;
+use mcs_faults::WatchdogTrip;
 use mcs_model::{Addr, BlockAddr, CacheId, ModelError, Word};
 use std::error::Error;
 use std::fmt;
@@ -110,6 +111,23 @@ pub enum SimError {
         /// Retry bound that was exceeded.
         bound: u32,
     },
+    /// The liveness watchdog detected a deadlock, livelock, or starved
+    /// processor and aborted the run.
+    Watchdog(WatchdogTrip),
+    /// An internal engine invariant did not hold — for example, a snooper
+    /// reported a line resident but the cache had no data for it. Always a
+    /// bug (or an injected fault corrupting engine state), never a
+    /// workload error.
+    EngineInvariant {
+        /// Which invariant broke (static description).
+        context: &'static str,
+        /// Simulation cycle when it was detected.
+        cycle: u64,
+        /// The cache involved.
+        cache: CacheId,
+        /// The block involved.
+        block: BlockAddr,
+    },
     /// The system has no processors.
     NoProcessors,
 }
@@ -125,6 +143,10 @@ impl fmt::Display for SimError {
             }
             SimError::Livelock { proc, bound } => {
                 write!(f, "operation on processor {proc} retried more than {bound} times")
+            }
+            SimError::Watchdog(trip) => write!(f, "watchdog: {trip}"),
+            SimError::EngineInvariant { context, cycle, cache, block } => {
+                write!(f, "engine invariant violated at cycle {cycle}: {context} ({cache}, {block})")
             }
             SimError::NoProcessors => write!(f, "system must have at least one processor"),
         }
@@ -156,6 +178,12 @@ impl From<CacheError> for SimError {
 impl From<OracleViolation> for SimError {
     fn from(v: OracleViolation) -> Self {
         SimError::Oracle(v)
+    }
+}
+
+impl From<WatchdogTrip> for SimError {
+    fn from(t: WatchdogTrip) -> Self {
+        SimError::Watchdog(t)
     }
 }
 

@@ -31,6 +31,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Non-test engine code must not panic on `Option`/`Result`: every failure
+// is a typed `SimError`. Tests keep their unwraps. CI promotes these
+// warnings to errors via `cargo clippy -- -D warnings`.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod config;
 mod crossbar;
@@ -41,10 +45,11 @@ mod system;
 mod workload;
 
 pub use config::{EngineMode, SystemConfig};
+pub use mcs_faults as faults;
 pub use mcs_obs as obs;
 pub use crossbar::{Crossbar, CrossbarConfig, CrossbarStats};
 pub use error::{OracleViolation, SimError};
 pub use memory::MainMemory;
 pub use oracle::Oracle;
-pub use system::System;
+pub use system::{RunReport, System};
 pub use workload::{AccessResult, ParallelScriptWorkload, ScriptStep, ScriptWorkload, WaitBehavior, WorkItem, Workload};

@@ -47,6 +47,7 @@ use crate::memory::MainMemory;
 use crate::oracle::Oracle;
 use crate::workload::{AccessResult, ScriptWorkload, WaitBehavior, WorkItem, Workload};
 use mcs_cache::{BusyWaitRegister, Cache, DirectoryModel, EvictedLine};
+use mcs_faults::{FaultState, FaultStats, Watchdog, WatchdogReport, WatchdogTrip};
 use mcs_obs::{EventSink, IntervalSampler, LatencyHists};
 use std::collections::BTreeMap;
 use mcs_model::{
@@ -76,7 +77,11 @@ enum Phase {
     },
     /// Transaction granted; completes (from the processor's view) at `until`.
     InFlight { op: ProcOp, until: u64, result: AccessResult },
-    /// Lock fetch denied; busy-wait register armed (Figure 7).
+    /// Lock fetch denied; busy-wait register armed (Figure 7). `since` is
+    /// when the whole lock wait began (accumulates across re-denials);
+    /// `armed_at` is when the register was armed for *this* wait, the
+    /// anchor for the busy-wait timeout so a re-denied waiter gets a full
+    /// fresh timeout instead of expiring instantly.
     WaitingLock {
         op: ProcOp,
         bus_op: BusOp,
@@ -84,6 +89,16 @@ enum Phase {
         behavior: WaitBehavior,
         worked: u64,
         retries: u32,
+        issued_at: u64,
+        armed_at: u64,
+    },
+    /// Busy-wait timeout taken: holding off the bus until `until` before
+    /// re-requesting explicitly (bounded exponential backoff).
+    Backoff {
+        op: ProcOp,
+        until: u64,
+        retries: u32,
+        wait_since: Option<u64>,
         issued_at: u64,
     },
     /// Program finished.
@@ -189,6 +204,19 @@ enum TxnOut {
     InstalledRetry { duration: u64 },
 }
 
+/// Outcome of a successful [`System::run`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Accumulated statistics (also available via [`System::stats`]).
+    pub stats: Stats,
+    /// Whether every processor reported `Done` before `max_cycles`.
+    pub completed: bool,
+    /// Injected-fault counters, when the fault layer was on.
+    pub faults: Option<FaultStats>,
+    /// Watchdog summary, when the watchdog was armed.
+    pub watchdog: Option<WatchdogReport>,
+}
+
 /// A simulated full-broadcast multiprocessor running protocol `P`.
 ///
 /// See the crate docs for an end-to-end example.
@@ -250,6 +278,16 @@ pub struct System<P: Protocol> {
     /// mnemonic-keyed `Stats.bus.by_op` map by `sync_directory_stats` (a
     /// BTreeMap string probe is too slow for the per-transaction path).
     by_op_pending: [u64; BUS_OP_SLOTS],
+    /// Fault-injection state (`None` when the layer is off — the
+    /// fault-free hot path pays one `is_some` branch per choke point).
+    faults: Option<FaultState>,
+    /// Cached busy-wait timeout from the fault plan; `None` disables the
+    /// timeout-recovery pass entirely.
+    bw_timeout: Option<u64>,
+    /// Liveness watchdog (`None` when off). Its checks mutate only the
+    /// watchdog itself, so arming it can never change simulation output —
+    /// only end a stalled run early with a typed error.
+    watchdog: Option<Watchdog>,
 }
 
 impl<P: Protocol> System<P> {
@@ -311,6 +349,9 @@ impl<P: Protocol> System<P> {
             watch_mask: 0,
             evict_buf: Vec::with_capacity(geometry.words_per_block()),
             by_op_pending: [0; BUS_OP_SLOTS],
+            faults: config.faults().cloned().map(FaultState::new),
+            bw_timeout: config.faults().and_then(|p| p.timeout_cycles()),
+            watchdog: config.watchdog().map(|cfg| Watchdog::new(n, cfg)),
             protocol,
         };
         sys.refresh_obs_flags();
@@ -434,19 +475,59 @@ impl<P: Protocol> System<P> {
 
     /// Runs `workload` until every processor reports
     /// [`WorkItem::Done`](crate::WorkItem::Done) or `max_cycles` elapse,
+    /// returning a full [`RunReport`]: statistics, whether the workload
+    /// completed, and the fault/watchdog summaries when those layers are
+    /// on.
+    ///
+    /// This is the primary entry point; [`System::run_workload`] is a
+    /// stats-only convenience wrapper over it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an oracle violation, a livelock, a watchdog trip, a broken
+    /// engine invariant, or a cache pinning error — always a typed
+    /// [`SimError`], never a panic or a hang.
+    pub fn run<W: Workload>(
+        &mut self,
+        workload: &mut W,
+        max_cycles: u64,
+    ) -> Result<RunReport, SimError> {
+        let result = self.run_loop(workload, max_cycles);
+        // Fold the directory/by-op counters in even when erroring out, so
+        // callers inspecting `stats()` after a failure see them.
+        self.sync_directory_stats();
+        let completed = result?;
+        Ok(RunReport {
+            stats: self.stats.clone(),
+            completed,
+            faults: self.fault_stats().cloned(),
+            watchdog: self.watchdog_report(),
+        })
+    }
+
+    /// Runs `workload` until every processor reports
+    /// [`WorkItem::Done`](crate::WorkItem::Done) or `max_cycles` elapse,
     /// returning the accumulated statistics.
     ///
     /// # Errors
     ///
-    /// Returns an oracle violation, a livelock, or a cache pinning error.
+    /// As for [`System::run`].
     pub fn run_workload<W: Workload>(
         &mut self,
         mut workload: W,
         max_cycles: u64,
     ) -> Result<Stats, SimError> {
-        self.run_loop(&mut workload, max_cycles)?;
-        self.sync_directory_stats();
-        Ok(self.stats.clone())
+        Ok(self.run(&mut workload, max_cycles)?.stats)
+    }
+
+    /// Injected-fault counters so far, when the fault layer is on.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(|f| f.stats())
+    }
+
+    /// The watchdog's progress-check summary, when the watchdog is armed.
+    pub fn watchdog_report(&self) -> Option<WatchdogReport> {
+        self.watchdog.as_ref().map(|w| w.report())
     }
 
     /// Convenience: runs a [`ScriptWorkload`] to completion and returns it
@@ -461,8 +542,9 @@ impl<P: Protocol> System<P> {
         max_cycles: u64,
     ) -> Result<(ScriptWorkload, Stats), SimError> {
         let mut w = ScriptWorkload::new(script);
-        self.run_loop(&mut w, max_cycles)?;
+        let result = self.run_loop(&mut w, max_cycles);
         self.sync_directory_stats();
+        result?;
         let stats = self.stats.clone();
         Ok((w, stats))
     }
@@ -471,11 +553,13 @@ impl<P: Protocol> System<P> {
     /// by one cycle in [`EngineMode::CycleAccurate`], or straight to the
     /// next event in [`EngineMode::EventDriven`] — accounting the skipped
     /// interval identically either way.
-    fn run_loop<W: Workload>(&mut self, workload: &mut W, max_cycles: u64) -> Result<(), SimError> {
+    fn run_loop<W: Workload>(&mut self, workload: &mut W, max_cycles: u64) -> Result<bool, SimError> {
         self.reset_phases();
         let deadline = self.now + max_cycles;
+        let mut completed = false;
         while self.now < deadline {
             let all_done = self.step(workload)?;
+            self.watchdog_check()?;
             let dt = if all_done || self.engine == EngineMode::CycleAccurate {
                 1
             } else {
@@ -485,10 +569,70 @@ impl<P: Protocol> System<P> {
             self.now += dt;
             self.stats.cycles = self.now;
             if all_done {
+                completed = true;
                 break;
             }
         }
-        Ok(())
+        Ok(completed)
+    }
+
+    /// Runs a due forward-progress check. Only processors with an
+    /// outstanding memory operation can stall: a `Ready` processor is
+    /// voluntarily idle, a `Computing` one is making progress by
+    /// definition, and `Done` is finished. On a trip, emits the diagnostic
+    /// event and returns the typed error carrying cycle / processor /
+    /// block / protocol context.
+    fn watchdog_check(&mut self) -> Result<(), SimError> {
+        let Some(wd) = self.watchdog.as_mut() else { return Ok(()) };
+        if !wd.due(self.now) {
+            return Ok(());
+        }
+        let phases = &self.phases;
+        let tripped = wd.check(self.now, |i| {
+            matches!(
+                phases[i],
+                Phase::Pending { .. }
+                    | Phase::InFlight { .. }
+                    | Phase::WaitingLock { .. }
+                    | Phase::Backoff { .. }
+            )
+        });
+        let Some((kind, proc, stalled_for)) = tripped else { return Ok(()) };
+        let block = self.block_waited_on(proc);
+        self.emit(self.now, || Event::WatchdogTrip {
+            kind: kind.id(),
+            proc: ProcId(proc),
+            block,
+            stalled_for,
+        });
+        Err(SimError::Watchdog(WatchdogTrip {
+            kind,
+            proc,
+            cycle: self.now,
+            stalled_for,
+            block,
+            protocol: self.protocol.name(),
+        }))
+    }
+
+    /// The block processor `i`'s outstanding operation targets, if any.
+    fn block_waited_on(&self, i: usize) -> Option<BlockAddr> {
+        match &self.phases[i] {
+            Phase::Pending { op, .. }
+            | Phase::InFlight { op, .. }
+            | Phase::WaitingLock { op, .. }
+            | Phase::Backoff { op, .. } => Some(self.geometry.block_of(op.addr)),
+            _ => None,
+        }
+    }
+
+    /// Records that processor `i` retired a reference (fed to the
+    /// watchdog's forward-progress tracking).
+    #[inline]
+    fn note_progress(&mut self, i: usize) {
+        if let Some(w) = &mut self.watchdog {
+            w.note_progress(i, self.now);
+        }
     }
 
     /// Restarts every processor's phase machine so a fresh workload can be
@@ -501,6 +645,9 @@ impl<P: Protocol> System<P> {
             reg.disarm();
         }
         self.watch_mask = 0;
+        if let Some(w) = &mut self.watchdog {
+            w.reset(self.now);
+        }
     }
 
     /// Marks busy-wait register `i` as watching (mask capped at 64 bits;
@@ -551,13 +698,28 @@ impl<P: Protocol> System<P> {
                 Phase::InFlight { op, until, result } if *until <= self.now => {
                     let (op, result) = (*op, *result);
                     self.phases[i] = Phase::Ready;
+                    self.note_progress(i);
                     workload.complete(ProcId(i), &op, &result, self.now);
                 }
                 Phase::Computing { until } if *until <= self.now => {
                     self.phases[i] = Phase::Ready;
                 }
+                Phase::Backoff { op, until, retries, wait_since, issued_at }
+                    if *until <= self.now =>
+                {
+                    let (op, retries, wait_since, issued_at) =
+                        (*op, *retries, *wait_since, *issued_at);
+                    self.re_present_after_backoff(i, op, retries, wait_since, issued_at, workload)?;
+                }
                 _ => {}
             }
+        }
+
+        // 1b. Busy-wait timeout recovery: waiters whose register has heard
+        // nothing for the configured budget give up on the (possibly lost)
+        // unlock broadcast and fall back to explicit retries.
+        if self.bw_timeout.is_some() {
+            self.check_busy_wait_timeouts()?;
         }
 
         // 2. Arbitrate if the bus is free.
@@ -604,6 +766,14 @@ impl<P: Protocol> System<P> {
                     }
                 }
                 Phase::InFlight { .. } => p.stall_cycles += dt,
+                Phase::Backoff { wait_since, .. } => {
+                    // Backing off is a stall; the lock wait keeps running.
+                    p.stall_cycles += dt;
+                    if wait_since.is_some() {
+                        p.lock_wait_cycles += dt;
+                        lock_waiters += 1;
+                    }
+                }
                 Phase::WaitingLock { behavior, worked, .. } => {
                     lock_waiters += 1;
                     // Work-while-waiting (Section E.4): the ready section
@@ -650,11 +820,20 @@ impl<P: Protocol> System<P> {
         let mut bus_wanted = false;
         for (i, phase) in self.phases.iter().enumerate() {
             match phase {
-                Phase::Computing { until } | Phase::InFlight { until, .. } => {
+                Phase::Computing { until }
+                | Phase::InFlight { until, .. }
+                | Phase::Backoff { until, .. } => {
                     t = t.min((*until).max(floor));
                 }
                 Phase::Pending { .. } => bus_wanted = true,
                 Phase::WaitingLock { .. } if self.registers[i].wants_bus() => bus_wanted = true,
+                Phase::WaitingLock { armed_at, .. } => {
+                    // A sleeping waiter only becomes interesting at its
+                    // busy-wait timeout (when recovery is configured).
+                    if let Some(to) = self.bw_timeout {
+                        t = t.min((armed_at + to).max(floor));
+                    }
+                }
                 _ => {}
             }
             if self.idle_hints[i] != u64::MAX {
@@ -664,7 +843,97 @@ impl<P: Protocol> System<P> {
         if bus_wanted {
             t = t.min(self.bus_free_at.max(floor));
         }
+        // The watchdog's scheduled check is an event too: a fully quiet
+        // deadlock would otherwise only be seen at the run deadline.
+        if let Some(wd) = &self.watchdog {
+            t = t.min(wd.next_check_at().max(floor));
+        }
         t.max(floor)
+    }
+
+    /// Scans for busy-wait registers that have been armed longer than the
+    /// configured timeout without hearing an unlock, and converts each
+    /// into an explicit retry after a bounded-exponential backoff
+    /// (measured in bus signal-transaction durations). The retry counts
+    /// against the livelock bound so a permanently-lost lock still
+    /// terminates with a typed error.
+    fn check_busy_wait_timeouts(&mut self) -> Result<(), SimError> {
+        let Some(timeout) = self.bw_timeout else { return Ok(()) };
+        for i in 0..self.phases.len() {
+            let (op, since, retries, issued_at) = match &self.phases[i] {
+                Phase::WaitingLock { op, since, retries, issued_at, armed_at, .. }
+                    if !self.registers[i].wants_bus() && self.now >= *armed_at + timeout =>
+                {
+                    (*op, *since, *retries, *issued_at)
+                }
+                _ => continue,
+            };
+            if retries + 1 > self.retry_bound {
+                return Err(SimError::Livelock { proc: i, bound: self.retry_bound });
+            }
+            self.registers[i].disarm();
+            self.clear_watch(i);
+            let block = self.geometry.block_of(op.addr);
+            self.emit(self.now, || Event::WaiterTimeout {
+                cache: CacheId(i),
+                block,
+                retries: retries + 1,
+            });
+            let backoff_txns = match &mut self.faults {
+                Some(f) => {
+                    f.note_busy_wait_timeout();
+                    f.plan().backoff_txns(retries)
+                }
+                None => 1,
+            };
+            let hold = backoff_txns.saturating_mul(self.timing.signal_txn()).max(1);
+            self.phases[i] = Phase::Backoff {
+                op,
+                until: self.now + hold,
+                retries: retries + 1,
+                wait_since: Some(since),
+                issued_at,
+            };
+        }
+        Ok(())
+    }
+
+    /// Re-presents a timed-out waiter's operation after its backoff
+    /// expires, mirroring the queued-request re-evaluation in `try_grant`:
+    /// the line state may have changed while backing off (the lock may
+    /// even be free locally now).
+    fn re_present_after_backoff<W: Workload>(
+        &mut self,
+        i: usize,
+        op: ProcOp,
+        retries: u32,
+        wait_since: Option<u64>,
+        issued_at: u64,
+        workload: &mut W,
+    ) -> Result<(), SimError> {
+        let block = self.geometry.block_of(op.addr);
+        let state = self.caches[i].state_of(block);
+        match self.protocol.proc_access(state, op.kind) {
+            ProcAction::Hit { next } => {
+                let waited = wait_since.map_or(0, |s| self.now.saturating_sub(s));
+                if let Some(h) = &mut self.hists {
+                    h.miss_service.record(self.now - issued_at + 1);
+                }
+                self.apply_local_hit(i, op, state, next, waited, workload)?;
+                self.phases[i] = Phase::Computing { until: self.now + 1 };
+            }
+            ProcAction::Bus { op: bus_op } => {
+                self.phases[i] = Phase::Pending {
+                    op,
+                    bus_op,
+                    retries,
+                    wait_since,
+                    queued_at: self.now,
+                    issued_at,
+                };
+            }
+        }
+        Ok(())
     }
 
     /// A ready processor presents `op` to its cache.
@@ -719,6 +988,7 @@ impl<P: Protocol> System<P> {
                 h.miss_service.record(1);
             }
             let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
+            self.note_progress(i);
             workload.complete(ProcId(i), &op, &result, self.now);
             self.phases[i] = Phase::Computing { until: self.now + 1 };
             return Ok(());
@@ -826,6 +1096,7 @@ impl<P: Protocol> System<P> {
         }
 
         let result = AccessResult { value, hit: true, retries: 0, latency: 1, aborted: false };
+        self.note_progress(i);
         workload.complete(ProcId(i), &op, &result, self.now);
         Ok(())
     }
@@ -840,6 +1111,10 @@ impl<P: Protocol> System<P> {
             let i = (self.rr + off) % n;
             if matches!(self.phases[i], Phase::WaitingLock { .. }) && self.registers[i].wants_bus()
             {
+                // Fault choke point: an unfair arbiter skips its victim.
+                if self.faults.as_mut().is_some_and(|f| f.take_starved_grant(i)) {
+                    continue;
+                }
                 chosen = Some((i, true));
                 break;
             }
@@ -848,6 +1123,9 @@ impl<P: Protocol> System<P> {
             for off in 0..n {
                 let i = (self.rr + off) % n;
                 if matches!(self.phases[i], Phase::Pending { .. }) {
+                    if self.faults.as_mut().is_some_and(|f| f.take_starved_grant(i)) {
+                        continue;
+                    }
                     chosen = Some((i, false));
                     break;
                 }
@@ -912,6 +1190,7 @@ impl<P: Protocol> System<P> {
                 h.miss_service.record(self.now - issued_at + 1);
             }
             let result = AccessResult { value: None, hit: false, retries: 0, latency: 1, aborted: true };
+            self.note_progress(i);
             workload.complete(ProcId(i), &op, &result, self.now);
             self.phases[i] = Phase::Computing { until: self.now + 1 };
             return Ok(());
@@ -1016,6 +1295,7 @@ impl<P: Protocol> System<P> {
                     worked: 0,
                     retries,
                     issued_at,
+                    armed_at: self.now,
                 };
             }
         }
@@ -1039,12 +1319,37 @@ impl<P: Protocol> System<P> {
         let txn = BusTxn { op: bus_op, block, requester: AgentId::Cache(CacheId(req)), high_priority: hi };
 
         self.stats.bus.txns += 1;
+        if let Some(w) = &mut self.watchdog {
+            w.note_bus_txn();
+        }
         if let Some(h) = &mut self.hists {
             h.bus_arb_wait.record(arb_wait);
         }
         self.by_op_pending[op_slot(bus_op)] += 1;
         if hi {
             self.stats.bus.high_priority_grants += 1;
+        }
+
+        // Fault choke point: a spurious NAK rejects the granted transaction
+        // before any snooper sees it; the requester must re-arbitrate.
+        // Unlock broadcasts are exempt — the engine guarantees they
+        // complete (the spilled-lock path relies on it).
+        if let Some(f) = &mut self.faults {
+            if !matches!(bus_op, BusOp::UnlockBroadcast) && f.roll_spurious_nak() {
+                self.stats.bus.naks += 1;
+                let duration = self.timing.signal_txn();
+                self.emit(self.now, || Event::FaultInjected {
+                    kind: "spurious-nak",
+                    cache: CacheId(req),
+                    block,
+                });
+                self.emit(self.now, || Event::Bus {
+                    txn,
+                    summary: SnoopSummary { retry: true, ..SnoopSummary::default() },
+                    duration,
+                });
+                return Ok(TxnOut::Retried { duration });
+            }
         }
 
         // --- Snoop phase ---
@@ -1058,12 +1363,32 @@ impl<P: Protocol> System<P> {
                 continue;
             }
             let Some(before) = self.caches[j].state_if_resident(block) else { continue };
+            // Fault choke point: this snooper's reply is dropped — it
+            // neither updates its state nor drives the aggregated snoop
+            // lines for this transaction.
+            if let Some(f) = &mut self.faults {
+                if f.roll_dropped_snoop() {
+                    self.emit(self.now, || Event::FaultInjected {
+                        kind: "dropped-snoop",
+                        cache: CacheId(j),
+                        block,
+                    });
+                    continue;
+                }
+            }
             let outcome = self.protocol.snoop(before, &txn);
             self.caches[j].set_state(block, outcome.next);
             let flushed = outcome.reply.flushes;
             if flushed {
-                self.memory
-                    .write_block(block, self.caches[j].data_of(block).expect("resident line"));
+                let Some(data) = self.caches[j].data_of(block) else {
+                    return Err(SimError::EngineInvariant {
+                        context: "snoop flush from a cache with no data for the line",
+                        cycle: self.now,
+                        cache: CacheId(j),
+                        block,
+                    });
+                };
+                self.memory.write_block(block, data);
                 self.caches[j].clear_unit_dirty(block);
             }
             self.directories[j].bus_access();
@@ -1216,6 +1541,7 @@ impl<P: Protocol> System<P> {
                 // Allocate a frame (evicting if necessary) and move data —
                 // straight cache-to-cache / memory-to-cache copies, no
                 // intermediate allocation.
+                let mut mem_delay = 0u64;
                 let fetch_units =
                     supplier.map(|j| self.caches[j].dirty_units_of(block).max(1)).unwrap_or(1);
                 let (_, evicted) =
@@ -1245,6 +1571,18 @@ impl<P: Protocol> System<P> {
                         None => {
                             if summary.memory_inhibited {
                                 return Err(SimError::NoDataSource { block });
+                            }
+                            // Fault choke point: a slow memory bank delays
+                            // this memory-sourced fetch.
+                            if let Some(f) = &mut self.faults {
+                                if let Some(extra) = f.roll_memory_delay() {
+                                    mem_delay = extra;
+                                    self.emit(self.now, || Event::FaultInjected {
+                                        kind: "delayed-memory",
+                                        cache: CacheId(req),
+                                        block,
+                                    });
+                                }
                             }
                             self.stats.sources.from_memory += 1;
                             self.emit(self.now, || Event::MemoryProvides { block });
@@ -1277,7 +1615,7 @@ impl<P: Protocol> System<P> {
                     self.timing.fetch_from_cache(moved_words, arb_source)
                 } else {
                     self.stats.bus.words_transferred += moved_words as u64;
-                    self.timing.fetch_from_memory(moved_words)
+                    self.timing.fetch_from_memory(moved_words) + mem_delay
                 };
             }
             BusOp::Invalidate => {
@@ -1341,8 +1679,15 @@ impl<P: Protocol> System<P> {
             }
             BusOp::Flush => {
                 if self.caches[req].is_resident(block) {
-                    self.memory
-                        .write_block(block, self.caches[req].data_of(block).expect("resident line"));
+                    let Some(data) = self.caches[req].data_of(block) else {
+                        return Err(SimError::EngineInvariant {
+                            context: "bus flush from a cache with no data for the line",
+                            cycle: self.now,
+                            cache: CacheId(req),
+                            block,
+                        });
+                    };
+                    self.memory.write_block(block, data);
                     self.caches[req].clear_unit_dirty(block);
                 }
                 self.stats.sources.flushes += 1;
@@ -1478,6 +1823,20 @@ impl<P: Protocol> System<P> {
     /// Only registers in the watch mask can react, so the broadcast visits
     /// just those.
     fn broadcast_unlock(&mut self, block: BlockAddr, req: usize) {
+        // Fault choke point: the broadcast is lost. The lock state still
+        // changed, but no busy-wait register hears the release — Section
+        // E.4's wakeup signal vanishes, leaving waiters asleep until the
+        // busy-wait timeout (if configured) or the watchdog catches it.
+        if let Some(f) = &mut self.faults {
+            if f.roll_lost_unlock() {
+                self.emit(self.now, || Event::FaultInjected {
+                    kind: "lost-unlock",
+                    cache: CacheId(req),
+                    block,
+                });
+                return;
+            }
+        }
         for j in self.watch_targets() {
             if j != req && self.registers[j].observe_unlock(block) {
                 self.woken_at[j] = self.now;
@@ -1522,11 +1881,9 @@ impl<P: Protocol> System<P> {
         if writeback {
             self.memory.write_block(ev.tag, &self.evict_buf);
             self.stats.sources.flushes += 1;
-            let words = if self.caches[req].config().transfer_unit_words().is_some() {
-                let unit = self.caches[req].config().transfer_unit_words().unwrap();
-                (ev.dirty_units * unit).max(unit)
-            } else {
-                self.geometry.words_per_block()
+            let words = match self.caches[req].config().transfer_unit_words() {
+                Some(unit) => (ev.dirty_units * unit).max(unit),
+                None => self.geometry.words_per_block(),
             };
             self.stats.bus.words_transferred += words as u64;
             Ok(self.timing.flush(words))
@@ -1589,8 +1946,15 @@ impl<P: Protocol> System<P> {
             let outcome = self.protocol.snoop(before, &txn);
             self.caches[j].set_state(block, outcome.next);
             if outcome.reply.flushes {
-                self.memory
-                    .write_block(block, self.caches[j].data_of(block).expect("resident line"));
+                let Some(data) = self.caches[j].data_of(block) else {
+                    return Err(SimError::EngineInvariant {
+                        context: "I/O snoop flush from a cache with no data for the line",
+                        cycle: self.now,
+                        cache: CacheId(j),
+                        block,
+                    });
+                };
+                self.memory.write_block(block, data);
                 self.caches[j].clear_unit_dirty(block);
                 self.stats.sources.flushes += 1;
             }
@@ -1607,7 +1971,17 @@ impl<P: Protocol> System<P> {
             }
         }
         let data = match supplier {
-            Some(j) => Box::from(self.caches[j].data_of(block).expect("supplier has line")),
+            Some(j) => match self.caches[j].data_of(block) {
+                Some(d) => Box::from(d),
+                None => {
+                    return Err(SimError::EngineInvariant {
+                        context: "I/O output supplier has no data for the line",
+                        cycle: self.now,
+                        cache: CacheId(j),
+                        block,
+                    })
+                }
+            },
             None => self.memory.read_block(block),
         };
         let duration = self.timing.fetch_from_memory(self.geometry.words_per_block());

@@ -14,6 +14,7 @@
 use mcs_cache::CacheConfig;
 use mcs_core::{with_protocol, ProtocolKind};
 use mcs_model::{Event, Stats};
+use mcs_sim::faults::{FaultPlan, WatchdogConfig};
 use mcs_sim::obs::{LatencyHists, Window};
 use mcs_sim::{EngineMode, System, SystemConfig, Workload};
 use mcs_sync::LockSchemeKind;
@@ -39,25 +40,32 @@ struct RunOutput {
 /// Runs a fresh workload from `make` on `kind` under `mode`, returning the
 /// final statistics, the full trace event sequence, the latency
 /// histograms, and the interval time-series. `filter` toggles the holder
-/// bitmask snoop filter (on by default in real configs).
-fn run_mode<W: Workload>(
+/// bitmask snoop filter (on by default in real configs); `robust` arms the
+/// watchdog and installs an inert fault plan, which must change nothing.
+fn run_mode_with<W: Workload>(
     kind: ProtocolKind,
     mode: EngineMode,
     procs: usize,
     words: usize,
     filter: bool,
+    robust: bool,
     make: impl FnOnce() -> W,
 ) -> RunOutput {
     let cache = CacheConfig::fully_associative(64, words).expect("valid cache");
     let mut w = make();
     with_protocol!(kind, p => {
-        let cfg = SystemConfig::new(procs)
+        let mut cfg = SystemConfig::new(procs)
             .with_cache(cache)
             .with_trace(true)
             .with_histograms(true)
             .with_timeline(WINDOW)
             .with_snoop_filter(filter)
             .with_engine(mode);
+        if robust {
+            cfg = cfg
+                .with_faults(FaultPlan::new(0xFA_017))
+                .with_watchdog(WatchdogConfig::new().check_interval(777));
+        }
         let mut sys = System::new(p, cfg).expect("valid system");
         let stats = sys
             .run_workload(&mut w, MAX_CYCLES)
@@ -70,6 +78,18 @@ fn run_mode<W: Workload>(
             timeline: sys.timeline().expect("timeline enabled").windows().to_vec(),
         }
     })
+}
+
+/// `run_mode_with` without the robustness layer.
+fn run_mode<W: Workload>(
+    kind: ProtocolKind,
+    mode: EngineMode,
+    procs: usize,
+    words: usize,
+    filter: bool,
+    make: impl FnOnce() -> W,
+) -> RunOutput {
+    run_mode_with(kind, mode, procs, words, filter, false, make)
 }
 
 /// Asserts one run matches the cycle-accurate reference, with a label for
@@ -102,6 +122,10 @@ fn assert_equivalent<W: Workload>(kind: ProtocolKind, procs: usize, make: impl F
     assert_matches_reference(kind, "event-driven", &reference, &event);
     let unfiltered = run_mode(kind, EngineMode::EventDriven, procs, words, false, &make);
     assert_matches_reference(kind, "snoop filter off", &reference, &unfiltered);
+    // An armed watchdog plus an inert fault plan must be invisible: the
+    // watchdog only reads engine state and an all-zero plan never draws.
+    let robust = run_mode_with(kind, EngineMode::EventDriven, procs, words, true, true, &make);
+    assert_matches_reference(kind, "inert faults + watchdog", &reference, &robust);
     assert!(reference.stats.total_refs() > 0, "{kind}: workload must do real work");
 }
 
